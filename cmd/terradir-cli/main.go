@@ -1,0 +1,51 @@
+// Command terradir-cli issues lookups against a running terradird peer's
+// client port.
+//
+//	terradir-cli -addr 127.0.0.1:8100 /n0/n1/n0 /n1/n1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8100", "terradird client address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-lookup timeout")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: terradir-cli [-addr host:port] <name> [<name>...]")
+		os.Exit(2)
+	}
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "terradir-cli: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	failed := false
+	for _, name := range flag.Args() {
+		conn.SetDeadline(time.Now().Add(*timeout))
+		if _, err := fmt.Fprintf(conn, "LOOKUP %s\n", name); err != nil {
+			fmt.Fprintf(os.Stderr, "terradir-cli: send: %v\n", err)
+			os.Exit(1)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "terradir-cli: recv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(line)
+		if len(line) >= 3 && line[:3] == "ERR" {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

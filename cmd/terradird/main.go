@@ -1,0 +1,173 @@
+// Command terradird runs one live TerraDir peer over TCP.
+//
+// A deployment of N peers shares a deterministic namespace and ownership
+// assignment derived from (-namespace, -servers, -seed); every process must
+// be launched with identical values plus the full peer address list. Each
+// peer additionally serves a line-based client port for lookups (see
+// cmd/terradir-cli).
+//
+// Example 3-node deployment on one machine:
+//
+//	terradird -id 0 -servers 3 -listen :7100 -client :8100 -peers :7100,:7101,:7102
+//	terradird -id 1 -servers 3 -listen :7101 -client :8101 -peers :7100,:7101,:7102
+//	terradird -id 2 -servers 3 -listen :7102 -client :8102 -peers :7100,:7101,:7102
+//	terradir-cli -addr :8100 /n0/n1/n0
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"terradir"
+	"terradir/internal/core"
+	"terradir/internal/overlay"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this peer's server ID (0-based)")
+		servers  = flag.Int("servers", 1, "total number of peers in the deployment")
+		listen   = flag.String("listen", ":7100", "peer protocol listen address")
+		client   = flag.String("client", ":8100", "client (lookup) listen address; empty disables")
+		peerList = flag.String("peers", "", "comma-separated peer addresses, index = server ID")
+		nsKind   = flag.String("namespace", "balanced:2:10", "namespace spec: 'balanced:<arity>:<levels>' or 'fs:<nodes>'")
+		seed     = flag.Uint64("seed", 1, "deployment seed (must match across peers)")
+		svcDelay = flag.Duration("service-delay", 0, "artificial per-query processing cost")
+	)
+	flag.Parse()
+
+	tree, err := buildNamespace(*nsKind, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *id < 0 || *id >= *servers {
+		fatal(fmt.Errorf("id %d out of range for %d servers", *id, *servers))
+	}
+	addrs := map[core.ServerID]string{}
+	if *peerList != "" {
+		for i, a := range strings.Split(*peerList, ",") {
+			addrs[core.ServerID(i)] = strings.TrimSpace(a)
+		}
+	}
+	if len(addrs) != *servers {
+		fatal(fmt.Errorf("-peers lists %d addresses for %d servers", len(addrs), *servers))
+	}
+
+	owner := terradir.AssignOwners(tree, *servers, *seed)
+	var owned []core.NodeID
+	for nd, s := range owner {
+		if s == core.ServerID(*id) {
+			owned = append(owned, core.NodeID(nd))
+		}
+	}
+	ownerOf := func(nd core.NodeID) core.ServerID { return owner[nd] }
+
+	node, err := overlay.NewNode(core.ServerID(*id), tree, owned, ownerOf, overlay.Options{
+		Seed:         *seed + uint64(*id)*7919,
+		ServiceDelay: *svcDelay,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	transport, err := overlay.NewTCPTransport(core.ServerID(*id), *listen, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	overlay.StartTCPNode(node, transport)
+	fmt.Printf("terradird: peer %d/%d up on %s; owns %d of %d nodes\n",
+		*id, *servers, transport.Addr(), len(owned), tree.Len())
+
+	var clientLn net.Listener
+	if *client != "" {
+		clientLn, err = net.Listen("tcp", *client)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("terradird: client port on %s\n", clientLn.Addr())
+		go serveClients(clientLn, node, tree)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("terradird: shutting down")
+	if clientLn != nil {
+		clientLn.Close()
+	}
+	node.Stop()
+	transport.Close()
+}
+
+func buildNamespace(spec string, seed uint64) (*terradir.Tree, error) {
+	switch {
+	case strings.HasPrefix(spec, "balanced:"):
+		var arity, levels int
+		if _, err := fmt.Sscanf(spec, "balanced:%d:%d", &arity, &levels); err != nil {
+			return nil, fmt.Errorf("bad namespace spec %q", spec)
+		}
+		return terradir.NewBalancedNamespace(arity, levels), nil
+	case strings.HasPrefix(spec, "fs:"):
+		var nodes int
+		if _, err := fmt.Sscanf(spec, "fs:%d", &nodes); err != nil {
+			return nil, fmt.Errorf("bad namespace spec %q", spec)
+		}
+		return terradir.NewFileSystemNamespace(seed, nodes), nil
+	default:
+		return nil, fmt.Errorf("unknown namespace spec %q", spec)
+	}
+}
+
+// serveClients answers a minimal line protocol:
+//
+//	LOOKUP <name>\n  ->  OK <hops> <latency_ms> <name> hosts=<ids>\n
+//	                 or  ERR <reason>\n
+func serveClients(ln net.Listener, node *overlay.Node, tree *terradir.Tree) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			sc := bufio.NewScanner(c)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				fields := strings.Fields(line)
+				if len(fields) != 2 || strings.ToUpper(fields[0]) != "LOOKUP" {
+					fmt.Fprintf(c, "ERR usage: LOOKUP <name>\n")
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				res, err := node.LookupName(ctx, fields[1])
+				cancel()
+				switch {
+				case err != nil:
+					fmt.Fprintf(c, "ERR %v\n", err)
+				case !res.OK:
+					fmt.Fprintf(c, "ERR lookup failed: %s\n", res.Reason)
+				default:
+					hosts := make([]string, len(res.Hosts))
+					for i, h := range res.Hosts {
+						hosts[i] = fmt.Sprintf("%d", h)
+					}
+					fmt.Fprintf(c, "OK %d %.2f %s hosts=%s\n",
+						res.Hops, float64(res.Latency)/float64(time.Millisecond),
+						res.Name, strings.Join(hosts, ","))
+				}
+			}
+		}(conn)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "terradird: %v\n", err)
+	os.Exit(1)
+}

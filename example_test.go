@@ -1,0 +1,73 @@
+package terradir_test
+
+import (
+	"fmt"
+
+	"terradir"
+)
+
+// ExampleTreeBuilder shows hand-building the paper's Fig. 1 namespace and
+// the namespace-distance metric the routing protocol minimizes.
+func ExampleTreeBuilder() {
+	var b terradir.TreeBuilder
+	root := b.AddRoot("university")
+	pub := b.AddChild(root, "public")
+	priv := b.AddChild(root, "private")
+	people := b.AddChild(pub, "people")
+	b.AddChild(priv, "people")
+	ns := b.Build()
+
+	fmt.Println(ns.Name(people))
+	fmt.Println(ns.Lookup("/university/private/people") != terradir.InvalidNode)
+	fmt.Println(ns.Distance(people, priv)) // up to /university, down to private
+	// Output:
+	// /university/public/people
+	// true
+	// 3
+}
+
+// ExampleNewBalancedNamespace builds the paper's synthetic namespace Ns.
+func ExampleNewBalancedNamespace() {
+	ns := terradir.NewBalancedNamespace(2, 15)
+	fmt.Println(ns.Len(), ns.MaxDepth())
+	// Output: 32767 14
+}
+
+// ExampleNewSimulation runs a small deterministic simulated deployment under
+// a shifting hot-spot and reports that the adaptive protocol replicated.
+func ExampleNewSimulation() {
+	ns := terradir.NewBalancedNamespace(2, 9)
+	p := terradir.DefaultSimParams(ns, 16)
+	p.Seed = 7
+	sim, err := terradir.NewSimulation(p)
+	if err != nil {
+		panic(err)
+	}
+	w := terradir.ZipfWorkload(ns, 3, 1.5, 300, 15)
+	sim.Run(w, 15)
+	sim.Drain(30)
+
+	fmt.Println("completed queries:", sim.Metrics.Completed > 0)
+	fmt.Println("replicas created:", sim.TotalReplicas() > 0)
+	fmt.Println("drop fraction below 10%:", sim.Metrics.DropFraction() < 0.10)
+	// Output:
+	// completed queries: true
+	// replicas created: true
+	// drop fraction below 10%: true
+}
+
+// ExampleRunExperiment regenerates the paper's Table 1.
+func ExampleRunExperiment() {
+	r, err := terradir.RunExperiment("table1", terradir.ReducedScale(0.02, 1))
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range r.Rows {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// Owned
+	// Replicated
+	// Neighboring
+	// Cached
+}

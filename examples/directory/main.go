@@ -1,0 +1,81 @@
+// Directory: use TerraDir as an actual distributed directory service —
+// annotate nodes with metadata, store application data at the owners, then
+// resolve, fetch (the paper's two-step lookup + retrieval, §2.1) and run a
+// hierarchical search (complex queries decomposed into lookups, §2.1)
+// through a live overlay.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"terradir"
+)
+
+func main() {
+	// A small org-chart namespace.
+	var b terradir.TreeBuilder
+	root := b.AddRoot("corp")
+	eng := b.AddChild(root, "engineering")
+	sales := b.AddChild(root, "sales")
+	platform := b.AddChild(eng, "platform")
+	apps := b.AddChild(eng, "apps")
+	people := []terradir.NodeID{
+		b.AddChild(platform, "ada"),
+		b.AddChild(platform, "bob"),
+		b.AddChild(apps, "cleo"),
+		b.AddChild(sales, "dan"),
+	}
+	ns := b.Build()
+
+	// Build the overlay but store data/meta before traffic flows.
+	ov, err := terradir.NewLocalOverlay(ns, terradir.OverlayOptions{Servers: 4, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ov.StopAll()
+
+	owners := terradir.AssignOwners(ns, 4, 8) // same seed => same assignment
+	records := map[string]string{
+		"/corp/engineering/platform/ada": "ada@corp, on-call",
+		"/corp/engineering/platform/bob": "bob@corp",
+		"/corp/engineering/apps/cleo":    "cleo@corp",
+		"/corp/sales/dan":                "dan@corp, quota crushed",
+	}
+	for _, p := range people {
+		name := ns.Name(p)
+		owner := ov.Node(int(owners[p]))
+		if !owner.StoreData(p, []byte(records[name])) {
+			log.Fatalf("store on %s failed", name)
+		}
+		owner.Peer().SetMeta(p, map[string]string{"kind": "person"})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// Two-step retrieval: lookup resolves name -> hosting servers, then the
+	// data is fetched from a host (only owners keep data; routing replicas
+	// answer lookups but not retrievals — Table 1).
+	fmt.Println("two-step retrieval:")
+	for _, p := range people {
+		name := ns.Name(p)
+		res, data, err := ov.Node(0).Get(ctx, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-34s hops=%d meta=%v data=%q\n", name, res.Hops, res.Meta.Attrs, data)
+	}
+
+	// Hierarchical search: resolve the whole /corp/engineering subtree.
+	fmt.Println("\nsearch /corp/engineering (depth <= 2):")
+	results, err := ov.Node(3).Search(ctx, "/corp/engineering", 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("  depth=%d %-34s hosts=%v\n", r.Depth, r.Name, r.Hosts)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a namespace, start a live in-process TerraDir overlay,
+// and resolve a few names through it — the minimal end-to-end tour of the
+// public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"terradir"
+)
+
+func main() {
+	// The paper's Fig. 1 namespace, built by hand.
+	var b terradir.TreeBuilder
+	root := b.AddRoot("university")
+	pub := b.AddChild(root, "public")
+	priv := b.AddChild(root, "private")
+	pubPeople := b.AddChild(pub, "people")
+	privPeople := b.AddChild(priv, "people")
+	faculty := b.AddChild(pubPeople, "faculty")
+	students := b.AddChild(pubPeople, "students")
+	staff := b.AddChild(privPeople, "staff")
+	privStudents := b.AddChild(privPeople, "students")
+	b.AddChild(faculty, "John")
+	b.AddChild(students, "Steve")
+	b.AddChild(staff, "Ann")
+	b.AddChild(privStudents, "Lisa")
+	b.AddChild(privStudents, "Mary")
+	ns := b.Build()
+	fmt.Printf("namespace: %d nodes, depth %d\n", ns.Len(), ns.MaxDepth())
+
+	// A live overlay: four servers, each a goroutine running the protocol.
+	ov, err := terradir.NewLocalOverlay(ns, terradir.OverlayOptions{Servers: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ov.StopAll()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for _, name := range []string{
+		"/university/private/people/students/Mary",
+		"/university/public/people/faculty/John",
+		"/university/private",
+	} {
+		// Initiate at server 0 — TerraDir routes up and down the hierarchy,
+		// caching the path at every step (§2.4).
+		res, err := ov.LookupName(ctx, 0, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("lookup %-45s -> ok=%v hops=%d hosts=%v (%.2fms)\n",
+			name, res.OK, res.Hops, res.Hosts, float64(res.Latency)/float64(time.Millisecond))
+	}
+
+	// The second lookup of the same name uses the cached mapping: 1 hop.
+	res, err := ov.LookupName(ctx, 0, "/university/private/people/students/Mary")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat lookup: hops=%d (path-propagation caching at work)\n", res.Hops)
+}

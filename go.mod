@@ -1,0 +1,3 @@
+module terradir
+
+go 1.22

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"testing"
+
+	"terradir/internal/core"
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+	"terradir/internal/workload"
+)
+
+// smallCluster builds a modest deterministic deployment for tests.
+func smallCluster(t *testing.T, servers int, levels int, mut func(*Params)) *Cluster {
+	t.Helper()
+	tree := namespace.NewBalanced(2, levels)
+	p := DefaultParams(tree, servers)
+	p.Seed = 42
+	if mut != nil {
+		mut(&p)
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSingleLookupResolves(t *testing.T) {
+	c := smallCluster(t, 16, 8, nil)
+	dest := core.NodeID(c.Tree().Len() - 1)
+	c.InjectQuery(3, dest)
+	c.Drain(30)
+	if c.Metrics.Completed != 1 {
+		t.Fatalf("completed = %d (failedTTL=%d noroute=%d drops=%d)",
+			c.Metrics.Completed, c.Metrics.FailedTTL, c.Metrics.FailedNoRoute, c.Metrics.DroppedTotal)
+	}
+	if c.Metrics.Latency.N() != 1 || c.Metrics.Latency.Mean() <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestAllLookupsResolveLightLoad(t *testing.T) {
+	c := smallCluster(t, 32, 9, nil)
+	w := workload.Unif(c.Tree().Len(), rng.New(7), 200, 10)
+	c.Run(w, 10)
+	c.Drain(30)
+	m := c.Metrics
+	inj := int64(m.Injected.Total())
+	if inj < 1500 {
+		t.Fatalf("only %d injected", inj)
+	}
+	done := m.Completed + m.FailedTTL + m.FailedNoRoute + m.DroppedTotal
+	if done != inj {
+		t.Fatalf("accounting mismatch: injected %d, accounted %d", inj, done)
+	}
+	if m.FailedNoRoute > 0 {
+		t.Fatalf("no-route failures under light load: %d", m.FailedNoRoute)
+	}
+	if float64(m.Completed) < 0.99*float64(inj) {
+		t.Fatalf("completed %d of %d under light load", m.Completed, inj)
+	}
+}
+
+func TestReplicationTriggersUnderHotspot(t *testing.T) {
+	c := smallCluster(t, 16, 8, nil)
+	// Heavy skew: all queries to one leaf; arrival rate well above a single
+	// server's capacity (50/s at 20 ms), shared across 16 servers.
+	w := workload.UZipf(c.Tree().Len(), rng.New(9), 1.5, 300, 20)
+	c.Run(w, 20)
+	c.Drain(30)
+	if got := c.Metrics.TotalCreations(); got == 0 {
+		t.Fatal("no replicas created under heavy skew")
+	}
+	if c.TotalReplicas() == 0 {
+		t.Fatal("no replicas currently hosted")
+	}
+}
+
+func TestReplicationDisabledCreatesNone(t *testing.T) {
+	c := smallCluster(t, 16, 8, func(p *Params) {
+		p.Core.ReplicationEnabled = false
+	})
+	w := workload.UZipf(c.Tree().Len(), rng.New(9), 1.5, 300, 10)
+	c.Run(w, 10)
+	c.Drain(30)
+	if got := c.Metrics.TotalCreations(); got != 0 {
+		t.Fatalf("replication disabled but %d replicas created", got)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int64, int64, int64, uint64) {
+		c := smallCluster(t, 24, 9, nil)
+		w := workload.UnifThenZipfShifts(c.Tree().Len(), rng.New(3), 1.0, 400, 2, 8, 2)
+		c.Run(w, 8)
+		c.Drain(20)
+		return c.Metrics.Completed, c.Metrics.DroppedTotal, c.Metrics.TotalCreations(), c.Engine().Processed()
+	}
+	a1, b1, c1, d1 := run()
+	a2, b2, c2, d2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 || d1 != d2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", a1, b1, c1, d1, a2, b2, c2, d2)
+	}
+}
+
+func TestDropsUnderOverload(t *testing.T) {
+	// Offered load far beyond capacity must produce queue drops, and the
+	// drop accounting must balance.
+	c := smallCluster(t, 4, 7, func(p *Params) {
+		p.Core.ReplicationEnabled = false
+		p.Core.CachingEnabled = false
+	})
+	w := workload.Unif(c.Tree().Len(), rng.New(5), 2000, 5)
+	c.Run(w, 5)
+	c.Drain(60)
+	m := c.Metrics
+	if m.DroppedTotal == 0 {
+		t.Fatal("no drops under 10x overload")
+	}
+	inj := int64(m.Injected.Total())
+	done := m.Completed + m.FailedTTL + m.FailedNoRoute + m.DroppedTotal
+	if done != inj {
+		t.Fatalf("accounting mismatch: injected %d, accounted %d", inj, done)
+	}
+}
+
+func TestFailedServerRoutedAround(t *testing.T) {
+	c := smallCluster(t, 16, 8, nil)
+	// Warm up so replicas and caches exist.
+	w := workload.UZipf(c.Tree().Len(), rng.New(4), 1.2, 300, 15)
+	c.Run(w, 15)
+	c.Drain(20)
+	before := c.Metrics.Completed
+	// Fail the root owner: queries through the top of the hierarchy must
+	// still mostly resolve via replicas/caches.
+	c.FailServer(c.OwnerOf(c.Tree().Root()))
+	w2 := workload.UZipf(c.Tree().Len(), rng.New(6), 1.2, 300, 10)
+	c.Run(w2, 10)
+	c.Drain(30)
+	delta := c.Metrics.Completed - before
+	if delta == 0 {
+		t.Fatal("nothing completed after failing the root owner")
+	}
+}
+
+func TestBalancedAssignment(t *testing.T) {
+	tree := namespace.NewBalanced(2, 9) // 511 nodes
+	p := DefaultParams(tree, 64)
+	p.Assignment = AssignBalanced
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := 1<<30, 0
+	for i := 0; i < 64; i++ {
+		n := c.Peer(i).OwnedCount()
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("balanced assignment spread %d..%d", min, max)
+	}
+}
+
+func TestHostsOfTracksReplicas(t *testing.T) {
+	c := smallCluster(t, 16, 8, nil)
+	root := c.Tree().Root()
+	if len(c.HostsOf(root)) != 1 || c.HostsOf(root)[0] != c.OwnerOf(root) {
+		t.Fatal("initial hosts wrong")
+	}
+	w := workload.UZipf(c.Tree().Len(), rng.New(9), 1.5, 300, 20)
+	c.Run(w, 20)
+	c.Drain(30)
+	total := 0
+	for node := 0; node < c.Tree().Len(); node++ {
+		total += len(c.HostsOf(core.NodeID(node))) - 1
+	}
+	if total != c.TotalReplicas() {
+		t.Fatalf("hosts table says %d replicas, peers say %d", total, c.TotalReplicas())
+	}
+}
+
+func TestOracleModeRuns(t *testing.T) {
+	c := smallCluster(t, 16, 8, func(p *Params) { p.Oracle = true })
+	w := workload.UZipf(c.Tree().Len(), rng.New(2), 1.0, 200, 5)
+	c.Run(w, 5)
+	c.Drain(20)
+	if c.Metrics.Completed == 0 {
+		t.Fatal("oracle mode completed nothing")
+	}
+	if acc := c.Metrics.Accuracy(); acc < 0.9 {
+		t.Fatalf("oracle accuracy = %v", acc)
+	}
+}
+
+func TestControlTrafficBounded(t *testing.T) {
+	// Control traffic is bounded by session structure (≤ ~6 messages per
+	// session) and sessions are rate-limited by the cooldown, so even under
+	// sustained overload the control volume cannot run away. The paper's
+	// quantitative claim (≥2 orders of magnitude below query count) holds at
+	// the paper's 1000-server scale and is verified by experiment E11; at
+	// this miniature scale we check the structural bound instead.
+	c := smallCluster(t, 32, 10, nil)
+	w := workload.UnifThenZipfShifts(c.Tree().Len(), rng.New(8), 1.5, 600, 5, 25, 4)
+	c.Run(w, 25)
+	c.Drain(30)
+	m := c.Metrics
+	if m.ControlMsgs == 0 {
+		t.Fatal("no control traffic despite replication")
+	}
+	agg := c.AggregateStats()
+	perSession := float64(m.ControlMsgs) / float64(agg.SessionsStarted)
+	if perSession > 8 {
+		t.Fatalf("%.1f control messages per session (started %d, total %d)",
+			perSession, agg.SessionsStarted, m.ControlMsgs)
+	}
+	// Session rate is bounded by cooldown: at most servers/cooldown per
+	// second plus timeout retries; allow 2x headroom.
+	maxSessions := 2 * float64(c.Servers()) / c.Peer(0).Config().ReplicationCooldown * 25
+	if float64(agg.SessionsStarted) > maxSessions {
+		t.Fatalf("sessions %d exceed structural bound %v", agg.SessionsStarted, maxSessions)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tree := namespace.NewBalanced(2, 4)
+	bad := []func(*Params){
+		func(p *Params) { p.Servers = 0 },
+		func(p *Params) { p.Tree = nil },
+		func(p *Params) { p.ServiceMean = 0 },
+		func(p *Params) { p.NetDelay = -1 },
+		func(p *Params) { p.QueueCap = -1 },
+		func(p *Params) { p.LoadWindow = 0 },
+		func(p *Params) { p.Core.MapSize = 0 },
+	}
+	for i, mut := range bad {
+		p := DefaultParams(tree, 8)
+		mut(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadSnapshotLen(t *testing.T) {
+	c := smallCluster(t, 10, 6, nil)
+	if got := len(c.LoadSnapshot()); got != 10 {
+		t.Fatalf("snapshot length %d", got)
+	}
+}
+
+func TestAggregateStatsConsistency(t *testing.T) {
+	c := smallCluster(t, 16, 8, nil)
+	w := workload.Unif(c.Tree().Len(), rng.New(11), 300, 10)
+	c.Run(w, 10)
+	c.Drain(30)
+	agg := c.AggregateStats()
+	if agg.Resolved != c.Metrics.Completed {
+		t.Fatalf("peer-resolved %d vs cluster-completed %d", agg.Resolved, c.Metrics.Completed)
+	}
+	if agg.ReplicaInstalls != int64(c.Metrics.TotalCreations()) {
+		t.Fatalf("installs %d vs creations %d", agg.ReplicaInstalls, c.Metrics.TotalCreations())
+	}
+}
+
+func TestStaticReplicationBootstraps(t *testing.T) {
+	tree := namespace.NewBalanced(2, 9)
+	p := DefaultParams(tree, 32)
+	p.Seed = 5
+	p.Static = StaticReplication{Levels: 3, Factor: 4}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes at depth < 3 (7 nodes) each should have ~4 replicas installed
+	// before any traffic.
+	for nd := 0; nd < tree.Len(); nd++ {
+		hosts := len(c.HostsOf(core.NodeID(nd)))
+		if tree.Depth(core.NodeID(nd)) < 3 {
+			if hosts < 3 { // 4 requested; collisions may lose a slot or two
+				t.Fatalf("node %d at depth %d has only %d hosts", nd, tree.Depth(core.NodeID(nd)), hosts)
+			}
+		} else if hosts != 1 {
+			t.Fatalf("deep node %d has %d hosts before traffic", nd, hosts)
+		}
+	}
+	// Replica creations were counted.
+	if c.Metrics.TotalCreations() < 18 {
+		t.Fatalf("creations = %d", c.Metrics.TotalCreations())
+	}
+	// And the system still routes.
+	c.InjectQuery(3, core.NodeID(tree.Len()-1))
+	c.Drain(30)
+	if c.Metrics.Completed != 1 {
+		t.Fatal("lookup failed on statically replicated cluster")
+	}
+}
+
+func TestStaticReplicationDisabledByDefault(t *testing.T) {
+	c := smallCluster(t, 8, 6, nil)
+	if c.TotalReplicas() != 0 {
+		t.Fatalf("replicas before traffic: %d", c.TotalReplicas())
+	}
+}
+
+func TestRecoverServerResumes(t *testing.T) {
+	c := smallCluster(t, 8, 7, nil)
+	c.FailServer(2)
+	c.RecoverServer(2)
+	// Queries from/through server 2 must complete again. Stay within the
+	// 12-slot request queue: instantaneous injection beyond it would be
+	// (correctly) dropped.
+	for i := 0; i < 10; i++ {
+		c.InjectQuery(2, core.NodeID(i*5%c.Tree().Len()))
+	}
+	c.Drain(60)
+	if c.Metrics.Completed != 10 {
+		t.Fatalf("completed %d of 10 after recovery", c.Metrics.Completed)
+	}
+}
+
+func TestInjectToFailedServerCountsDrop(t *testing.T) {
+	c := smallCluster(t, 8, 6, nil)
+	c.FailServer(1)
+	c.InjectQuery(1, 3)
+	c.Drain(10)
+	if c.Metrics.DroppedTotal != 1 || c.Metrics.Completed != 0 {
+		t.Fatalf("drops=%d completed=%d", c.Metrics.DroppedTotal, c.Metrics.Completed)
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	// A trace-driven run is exactly reproducible and honors recorded
+	// sources and times.
+	c := smallCluster(t, 8, 7, nil)
+	w := workload.UZipf(c.Tree().Len(), rng.New(12), 1.0, 150, 6)
+	tr := workload.RecordTrace(w, rng.New(13), 6)
+	for i := range tr.Events {
+		tr.Events[i].Source = int32(i % 8) // pin sources
+	}
+	c.RunTrace(tr, 5)
+	c.Drain(30)
+	if got := int64(c.Metrics.Injected.Total()); got != int64(len(tr.Events)) {
+		t.Fatalf("injected %d of %d trace events", got, len(tr.Events))
+	}
+	if c.Metrics.Completed == 0 {
+		t.Fatal("trace replay completed nothing")
+	}
+	// Replay again on a fresh cluster: identical completion counts.
+	c2 := smallCluster(t, 8, 7, nil)
+	c2.RunTrace(tr, 5)
+	c2.Drain(30)
+	if c2.Metrics.Completed != c.Metrics.Completed || c2.Metrics.DroppedTotal != c.Metrics.DroppedTotal {
+		t.Fatalf("trace replay not reproducible: (%d,%d) vs (%d,%d)",
+			c.Metrics.Completed, c.Metrics.DroppedTotal, c2.Metrics.Completed, c2.Metrics.DroppedTotal)
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import "terradir/internal/stats"
+
+// Metrics aggregates everything the paper's figures report. Time series are
+// 1-second bins of simulation time.
+type Metrics struct {
+	// Injected counts queries entering the system per second.
+	Injected *stats.Series
+	// Drops counts queries discarded by full request queues per second
+	// (the paper's "dropped queries"), plus those lost to failed servers.
+	Drops *stats.Series
+	// Creations counts replica installs per second (Fig. 4, Fig. 8).
+	Creations *stats.Series
+
+	// LoadAvg and LoadMax sample mean and maximum server load once per
+	// second (Fig. 6).
+	LoadAvg []float64
+	LoadMax []float64
+
+	// Latency and Hops record completed-lookup distributions.
+	Latency stats.Histogram
+	Hops    stats.Histogram
+
+	Completed     int64
+	FailedTTL     int64
+	FailedNoRoute int64
+	DroppedTotal  int64
+
+	// Message counts by class (E11: control traffic vs. query traffic).
+	QueryMsgs   int64
+	ResultMsgs  int64
+	ControlMsgs int64
+
+	// CreationsByLevel accumulates replica creations per namespace depth
+	// (Fig. 7).
+	CreationsByLevel []int64
+	Evictions        int64
+
+	// Routing accuracy: forwarding steps that made incremental progress in
+	// the namespace metric (§4.4).
+	ProgressSteps int64
+	TotalSteps    int64
+}
+
+func newMetrics(levels int) *Metrics {
+	return &Metrics{
+		Injected:         stats.NewSeries(1),
+		Drops:            stats.NewSeries(1),
+		Creations:        stats.NewSeries(1),
+		CreationsByLevel: make([]int64, levels),
+	}
+}
+
+// DropFraction returns total drops over total injected (0 if nothing was
+// injected).
+func (m *Metrics) DropFraction() float64 {
+	inj := m.Injected.Total()
+	if inj == 0 {
+		return 0
+	}
+	return float64(m.DroppedTotal) / inj
+}
+
+// Accuracy returns the fraction of forwarding steps with incremental
+// progress (1 if there were no steps).
+func (m *Metrics) Accuracy() float64 {
+	if m.TotalSteps == 0 {
+		return 1
+	}
+	return float64(m.ProgressSteps) / float64(m.TotalSteps)
+}
+
+// MeanLoad returns the time-average of the per-second mean server load.
+func (m *Metrics) MeanLoad() float64 {
+	var w stats.Welford
+	for _, v := range m.LoadAvg {
+		w.Add(v)
+	}
+	return w.Mean()
+}
+
+// TotalCreations returns the total number of replica creations.
+func (m *Metrics) TotalCreations() int64 {
+	return int64(m.Creations.Total())
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+)
+
+// benchPeer builds a peer hosting ~32 nodes of a 4095-node tree with a
+// warmed cache and digest table — the routing hot path's realistic state.
+func benchPeer(b *testing.B) (*Peer, *namespace.Tree, *fakeEnv) {
+	b.Helper()
+	tree := namespace.NewBalanced(2, 12)
+	env := &fakeEnv{}
+	src := rng.New(1)
+	var owned []NodeID
+	for i := 0; i < 32; i++ {
+		owned = append(owned, NodeID(src.Intn(tree.Len())))
+	}
+	p, err := NewPeer(0, tree, DefaultConfig(), env, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ownedSet := map[NodeID]bool{}
+	for _, n := range owned {
+		p.AddOwned(n, Meta{})
+		ownedSet[n] = true
+	}
+	p.FinishSetup(func(n NodeID) ServerID {
+		if ownedSet[n] {
+			return 0
+		}
+		return ServerID(1 + int(n)%63)
+	})
+	// Warm cache and digest table.
+	for i := 0; i < 20; i++ {
+		m := NodeMap{Servers: []ServerID{ServerID(1 + i%63)}}
+		p.learnMap(NodeID(src.Intn(tree.Len())), &m)
+	}
+	for s := ServerID(1); s <= 32; s++ {
+		other, err := NewPeer(s, tree, DefaultConfig(), &fakeEnv{}, rng.New(uint64(s)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			other.AddOwned(NodeID(src.Intn(tree.Len())), Meta{})
+		}
+		other.FinishSetup(func(NodeID) ServerID { return 1 })
+		p.storeDigest(s, other.Digest())
+	}
+	return p, tree, env
+}
+
+func BenchmarkHandleQueryForward(b *testing.B) {
+	p, tree, env := benchPeer(b)
+	src := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := &QueryMsg{
+			QueryID:  uint64(i),
+			Dest:     NodeID(src.Intn(tree.Len())),
+			Source:   5,
+			OnBehalf: namespace.Invalid,
+		}
+		p.HandleQuery(q)
+		env.sent = env.sent[:0]
+		env.timers = env.timers[:0]
+	}
+}
+
+func BenchmarkBestCandidate(b *testing.B) {
+	p, tree, _ := benchPeer(b)
+	src := rng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.bestCandidate(NodeID(src.Intn(tree.Len())), nil)
+	}
+}
+
+func BenchmarkDigestShortcut(b *testing.B) {
+	p, tree, _ := benchPeer(b)
+	src := rng.New(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.digestShortcut(NodeID(src.Intn(tree.Len())), 8)
+	}
+}
+
+func BenchmarkNodeMapMerge(b *testing.B) {
+	src := rng.New(11)
+	var in NodeMap
+	for s := ServerID(10); s < 16; s++ {
+		in.AddRegular(s, 8)
+	}
+	in.AddAdvertised(99, 8)
+	var dst NodeMap
+	for s := ServerID(1); s < 8; s++ {
+		dst.AddRegular(s, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dst.Clone()
+		d.Merge(&in, 8, src, nil)
+	}
+}
+
+func BenchmarkPiggyback(b *testing.B) {
+	p, _, _ := benchPeer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.piggyback()
+	}
+}

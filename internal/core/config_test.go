@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"Thigh zero", func(c *Config) { c.Thigh = 0 }},
+		{"Thigh above one", func(c *Config) { c.Thigh = 1.5 }},
+		{"DeltaMin negative", func(c *Config) { c.DeltaMin = -0.1 }},
+		{"DeltaMin above one", func(c *Config) { c.DeltaMin = 1.1 }},
+		{"ReplFactor negative", func(c *Config) { c.ReplFactor = -1 }},
+		{"MapSize zero", func(c *Config) { c.MapSize = 0 }},
+		{"CacheSlots negative", func(c *Config) { c.CacheSlots = -1 }},
+		{"MaxHops zero", func(c *Config) { c.MaxHops = 0 }},
+		{"MaxPathEntries negative", func(c *Config) { c.MaxPathEntries = -1 }},
+		{"WeightHalfLife zero", func(c *Config) { c.WeightHalfLife = 0 }},
+		{"ReplicationAttempts zero", func(c *Config) { c.ReplicationAttempts = 0 }},
+		{"ReplicationCooldown negative", func(c *Config) { c.ReplicationCooldown = -1 }},
+		{"ProbeTimeout zero", func(c *Config) { c.ProbeTimeout = 0 }},
+		{"MaintainInterval zero", func(c *Config) { c.MaintainInterval = 0 }},
+		{"DigestBitsPerNode zero", func(c *Config) { c.DigestBitsPerNode = 0 }},
+		{"DigestHashes zero", func(c *Config) { c.DigestHashes = 0 }},
+		{"MaxDigests negative", func(c *Config) { c.MaxDigests = -1 }},
+		{"DigestScanPerHop negative", func(c *Config) { c.DigestScanPerHop = -1 }},
+		{"DigestsPerMessage negative", func(c *Config) { c.DigestsPerMessage = -1 }},
+		{"DigestShortcutLevels negative", func(c *Config) { c.DigestShortcutLevels = -1 }},
+		{"MaxKnownLoads zero", func(c *Config) { c.MaxKnownLoads = 0 }},
+		{"NaN Thigh", func(c *Config) { c.Thigh = math.NaN() }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestConfigFractionalReplFactorValid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplFactor = 0.125 // §4.4 sweep value
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleCacheForServers(t *testing.T) {
+	cases := map[int]int{
+		1:     2,
+		2:     2,
+		64:    12, // 2^6 servers -> 12 slots
+		1000:  20,
+		1024:  20,
+		16384: 28, // 2^14 -> 28
+	}
+	for n, want := range cases {
+		if got := ScaleCacheForServers(n); got != want {
+			t.Errorf("ScaleCacheForServers(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestScaleMapSizeForServers(t *testing.T) {
+	cases := map[int]int{
+		1:     2,
+		64:    2,  // 2^6 -> 2
+		1024:  6,  // 2^10 -> 6
+		16384: 10, // 2^14 -> 10 (paper Fig. 9: 2..10)
+	}
+	for n, want := range cases {
+		if got := ScaleMapSizeForServers(n); got != want {
+			t.Errorf("ScaleMapSizeForServers(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStateMatrixMatchesTable1(t *testing.T) {
+	rows := StateMatrix()
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 relationships, got %d", len(rows))
+	}
+	byName := map[string]StateRow{}
+	for _, r := range rows {
+		byName[r.Relationship] = r
+	}
+	owned := byName["Owned"]
+	if !(owned.Name && owned.Map && owned.Data && owned.Meta && owned.Context) {
+		t.Fatalf("Owned row wrong: %+v", owned)
+	}
+	repl := byName["Replicated"]
+	if !(repl.Name && repl.Map && repl.Meta && repl.Context) || repl.Data {
+		t.Fatalf("Replicated row wrong: %+v", repl)
+	}
+	for _, rel := range []string{"Neighboring", "Cached"} {
+		r := byName[rel]
+		if !(r.Name && r.Map) || r.Data || r.Meta || r.Context {
+			t.Fatalf("%s row wrong: %+v", rel, r)
+		}
+	}
+}

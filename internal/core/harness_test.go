@@ -1,0 +1,234 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+)
+
+// fakeEnv is a single-peer Env with manual time and captured sends.
+type fakeEnv struct {
+	now    float64
+	load   float64
+	sent   []sentMsg
+	timers []timer
+}
+
+type sentMsg struct {
+	to  ServerID
+	msg Message
+}
+
+type timer struct {
+	at float64
+	fn func()
+}
+
+func (e *fakeEnv) Now() float64  { return e.now }
+func (e *fakeEnv) Load() float64 { return e.load }
+func (e *fakeEnv) Send(to ServerID, m Message) {
+	e.sent = append(e.sent, sentMsg{to, m})
+}
+func (e *fakeEnv) After(d float64, fn func()) {
+	e.timers = append(e.timers, timer{at: e.now + d, fn: fn})
+}
+
+// advance moves time forward and fires due timers in schedule order.
+func (e *fakeEnv) advance(dt float64) {
+	e.now += dt
+	sort.SliceStable(e.timers, func(i, j int) bool { return e.timers[i].at < e.timers[j].at })
+	var rest []timer
+	for _, t := range e.timers {
+		if t.at <= e.now {
+			t.fn()
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	e.timers = rest
+}
+
+func (e *fakeEnv) take() []sentMsg {
+	out := e.sent
+	e.sent = nil
+	return out
+}
+
+// paperTree is the namespace of the paper's Fig. 1.
+func paperTree() (*namespace.Tree, map[string]NodeID) {
+	var b namespace.Builder
+	ids := map[string]NodeID{}
+	add := func(name string, parent string, label string) {
+		if parent == "" {
+			ids[name] = b.AddRoot(label)
+			return
+		}
+		ids[name] = b.AddChild(ids[parent], label)
+	}
+	add("/u", "", "university")
+	add("/u/pub", "/u", "public")
+	add("/u/priv", "/u", "private")
+	add("/u/pub/people", "/u/pub", "people")
+	add("/u/priv/people", "/u/priv", "people")
+	add("/u/pub/people/faculty", "/u/pub/people", "faculty")
+	add("/u/pub/people/students", "/u/pub/people", "students")
+	add("/u/priv/people/staff", "/u/priv/people", "staff")
+	add("/u/priv/people/students", "/u/priv/people", "students")
+	add("/u/pub/people/faculty/John", "/u/pub/people/faculty", "John")
+	add("/u/pub/people/students/Steve", "/u/pub/people/students", "Steve")
+	add("/u/priv/people/staff/Ann", "/u/priv/people/staff", "Ann")
+	add("/u/priv/people/students/Lisa", "/u/priv/people/students", "Lisa")
+	add("/u/priv/people/students/Mary", "/u/priv/people/students", "Mary")
+	return b.Build(), ids
+}
+
+// newTestPeer builds a peer owning the given nodes of tree, with every other
+// node owned by `other`.
+func newTestPeer(t *testing.T, tree *namespace.Tree, id ServerID, owned []NodeID, other ServerID, cfg Config, env Env) *Peer {
+	t.Helper()
+	p, err := NewPeer(id, tree, cfg, env, rng.New(uint64(id)+100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownedSet := map[NodeID]bool{}
+	for _, n := range owned {
+		p.AddOwned(n, Meta{})
+		ownedSet[n] = true
+	}
+	p.FinishSetup(func(n NodeID) ServerID {
+		if ownedSet[n] {
+			return id
+		}
+		return other
+	})
+	return p
+}
+
+// miniNet is a multi-peer synchronous harness: it constructs one peer per
+// ownership list and delivers messages breadth-first with a shared clock —
+// a deterministic micro-cluster for protocol-level tests without the
+// simulator's queueing model.
+type miniNet struct {
+	t        *testing.T
+	tree     *namespace.Tree
+	peers    []*Peer
+	envs     []*miniEnv
+	owner    map[NodeID]ServerID
+	clock    float64
+	inflight []delivery
+}
+
+type miniEnv struct {
+	net    *miniNet
+	id     ServerID
+	load   float64
+	queue  []sentMsg
+	timers []timer
+}
+
+func (e *miniEnv) Now() float64  { return e.net.clock }
+func (e *miniEnv) Load() float64 { return e.load }
+func (e *miniEnv) Send(to ServerID, m Message) {
+	e.net.inflight = append(e.net.inflight, delivery{to: to, msg: m})
+}
+func (e *miniEnv) After(d float64, fn func()) {
+	e.timers = append(e.timers, timer{at: e.net.clock + d, fn: fn})
+}
+
+type delivery struct {
+	to  ServerID
+	msg Message
+}
+
+func newMiniNet(t *testing.T, tree *namespace.Tree, ownership [][]NodeID, cfg Config) *miniNet {
+	t.Helper()
+	n := &miniNet{t: t, tree: tree, owner: map[NodeID]ServerID{}}
+	for sid, nodes := range ownership {
+		for _, nd := range nodes {
+			n.owner[nd] = ServerID(sid)
+		}
+	}
+	// Unowned nodes default to server 0.
+	for i := 0; i < tree.Len(); i++ {
+		if _, ok := n.owner[NodeID(i)]; !ok {
+			n.owner[NodeID(i)] = 0
+			ownership[0] = append(ownership[0], NodeID(i))
+		}
+	}
+	for sid := range ownership {
+		env := &miniEnv{net: n, id: ServerID(sid)}
+		n.envs = append(n.envs, env)
+		p, err := NewPeer(ServerID(sid), tree, cfg, env, rng.New(uint64(sid)+7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nd := range ownership[sid] {
+			p.AddOwned(nd, Meta{})
+		}
+		n.peers = append(n.peers, p)
+	}
+	for _, p := range n.peers {
+		p.FinishSetup(func(nd NodeID) ServerID { return n.owner[nd] })
+	}
+	return n
+}
+
+func (n *miniNet) deliverAll() {
+	for len(n.inflight) > 0 {
+		d := n.inflight[0]
+		n.inflight = n.inflight[1:]
+		p := n.peers[d.to]
+		switch m := d.msg.(type) {
+		case *QueryMsg:
+			p.HandleQuery(m)
+		default:
+			p.HandleControl(d.msg)
+		}
+	}
+}
+
+// advance moves the shared clock and fires due timers on every env.
+func (n *miniNet) advance(dt float64) {
+	n.clock += dt
+	for _, e := range n.envs {
+		sort.SliceStable(e.timers, func(i, j int) bool { return e.timers[i].at < e.timers[j].at })
+		var rest []timer
+		for _, tm := range e.timers {
+			if tm.at <= n.clock {
+				tm.fn()
+			} else {
+				rest = append(rest, tm)
+			}
+		}
+		e.timers = rest
+	}
+	n.deliverAll()
+}
+
+// lookup runs a query from source to dest through the mini net and returns
+// the final result message.
+func (n *miniNet) lookup(source ServerID, dest NodeID) *ResultMsg {
+	q := &QueryMsg{QueryID: 1, Dest: dest, Source: source, OnBehalf: namespace.Invalid, Started: n.clock}
+	var res *ResultMsg
+	// Intercept: wrap delivery loop manually.
+	n.peers[source].HandleQuery(q)
+	for len(n.inflight) > 0 {
+		d := n.inflight[0]
+		n.inflight = n.inflight[1:]
+		if r, ok := d.msg.(*ResultMsg); ok && d.to == source {
+			res = r
+			n.peers[d.to].HandleResult(r)
+			continue
+		}
+		p := n.peers[d.to]
+		switch m := d.msg.(type) {
+		case *QueryMsg:
+			p.HandleQuery(m)
+		default:
+			p.HandleControl(d.msg)
+		}
+	}
+	return res
+}

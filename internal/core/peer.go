@@ -1,0 +1,690 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"terradir/internal/bloom"
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+)
+
+// Env is the peer's window to the outside world. The simulator and the live
+// overlay provide implementations. All Env methods are invoked from the
+// peer's own execution context (the simulator event loop or the peer
+// goroutine); implementations must dispatch After callbacks back into that
+// same context.
+type Env interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// Load returns this server's measured busy-fraction load in [0,1]
+	// (paper §3.1: locally defined, linearly comparable).
+	Load() float64
+	// Send transmits a message to another server (or to self, which
+	// implementations deliver without network delay).
+	Send(to ServerID, m Message)
+	// After schedules fn to run on this peer after d seconds.
+	After(d float64, fn func())
+}
+
+// Hooks are optional instrumentation callbacks used by experiments.
+type Hooks struct {
+	// OnReplicaInstalled fires when this peer installs a replica of node
+	// created by server from.
+	OnReplicaInstalled func(node NodeID, from ServerID)
+	// OnReplicaEvicted fires when this peer evicts a replica.
+	OnReplicaEvicted func(node NodeID)
+	// OnForwardStep fires at each forwarding decision with the sender's
+	// candidate distance and this peer's (routing accuracy accounting; a
+	// step makes incremental progress when newDist < prevDist).
+	OnForwardStep func(prevDist, newDist int)
+}
+
+// Stats are per-peer monotonic counters.
+type Stats struct {
+	Processed        int64 // queries serviced
+	Resolved         int64 // lookups answered by this peer
+	Forwarded        int64
+	FailedTTL        int64
+	FailedNoRoute    int64
+	DigestShortcuts  int64 // forwards taken via a digest hit
+	CacheHits        int64 // forwards via a cached candidate
+	ContextHops      int64 // forwards via neighbor context
+	ReplicaInstalls  int64
+	ReplicaEvictions int64
+	SessionsStarted  int64
+	SessionsAborted  int64
+	SessionsOK       int64
+	ControlSent      int64 // control (non-query, non-result) messages sent
+	ResultsSent      int64
+	StaleSelfPurged  int64 // self-entries removed from maps for non-hosted nodes
+}
+
+type hostedNode struct {
+	id          NodeID
+	owned       bool
+	hasData     bool   // owners keep node data (Table 1); replicas do not
+	data        []byte // application data (owner only)
+	meta        Meta
+	selfMap     NodeMap
+	neighborIDs []NodeID
+	weight      float64 // load-based ranking counter (§3.2), decayed lazily
+	weightT     float64 // time of last decay
+	lastUsed    float64
+}
+
+type neighborMapEntry struct {
+	m    NodeMap
+	refs int
+}
+
+type digestEntry struct {
+	server  ServerID
+	filter  *bloom.Filter
+	updated float64
+}
+
+type loadInfo struct {
+	load    float64
+	updated float64
+}
+
+type advertRecord struct {
+	node    NodeID
+	servers []ServerID
+	created float64
+}
+
+// Peer is one TerraDir server: a transport-agnostic protocol state machine.
+// It is not safe for concurrent use; drive it from a single goroutine or the
+// simulator loop.
+type Peer struct {
+	ID   ServerID
+	cfg  Config
+	tree *namespace.Tree
+	env  Env
+	src  *rng.Source
+
+	hosted     map[NodeID]*hostedNode
+	hostedList []*hostedNode // deterministic iteration order
+	ownedCount int
+
+	neighborMaps map[NodeID]*neighborMapEntry
+	cache        *lruCache
+
+	digest      *bloom.Filter // own inverse-mapping digest
+	digestDirty bool
+	digests     map[ServerID]*digestEntry
+	digestList  []*digestEntry
+	digestClock int // round-robin eviction cursor
+	scanClock   int // rotating shortcut-scan window cursor
+
+	knownLoads    map[ServerID]loadInfo
+	knownLoadKeys []ServerID // parallel key list for O(1) random eviction
+	loadBias      float64
+	sysLoadEst    float64 // mean of gossiped loads, refreshed each Maintain
+
+	recentAdverts []advertRecord
+
+	sess           replSession
+	nextSession    uint64
+	lastSessionEnd float64
+
+	// OracleHosts, when set together with cfg.DigestsEnabled, replaces Bloom
+	// digest tests with perfect knowledge of which servers host a node
+	// (§4.4's "optimal behavior, as if given by an oracle" yardstick).
+	OracleHosts func(NodeID) []ServerID
+
+	Hooks Hooks
+	Stats Stats
+
+	scratchPath []NodeID // reusable buffer
+}
+
+// advertTTL is how long (seconds) a newly created replica is piggybacked as
+// a fresh advertisement on outgoing messages.
+const advertTTL = 2.0
+
+// NewPeer constructs a peer. cfg must validate. Ownership is declared with
+// AddOwned and finalized with FinishSetup before any message handling.
+func NewPeer(id ServerID, tree *namespace.Tree, cfg Config, env Env, src *rng.Source) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tree == nil || env == nil || src == nil {
+		return nil, fmt.Errorf("core: NewPeer requires tree, env and src")
+	}
+	cacheCap := cfg.CacheSlots
+	if !cfg.CachingEnabled {
+		cacheCap = 0
+	}
+	return &Peer{
+		ID:             id,
+		cfg:            cfg,
+		tree:           tree,
+		env:            env,
+		src:            src,
+		hosted:         make(map[NodeID]*hostedNode),
+		neighborMaps:   make(map[NodeID]*neighborMapEntry),
+		cache:          newLRUCache(cacheCap),
+		digests:        make(map[ServerID]*digestEntry),
+		knownLoads:     make(map[ServerID]loadInfo),
+		lastSessionEnd: math.Inf(-1),
+	}, nil
+}
+
+// Config returns the peer's configuration.
+func (p *Peer) Config() Config { return p.cfg }
+
+// AddOwned declares this peer the owner of node. Call before FinishSetup.
+func (p *Peer) AddOwned(node NodeID, meta Meta) {
+	if _, ok := p.hosted[node]; ok {
+		return
+	}
+	hn := &hostedNode{
+		id:      node,
+		owned:   true,
+		hasData: true,
+		meta:    meta,
+		selfMap: SingleServerMap(p.ID),
+	}
+	p.hosted[node] = hn
+	p.hostedList = append(p.hostedList, hn)
+	p.ownedCount++
+}
+
+// FinishSetup wires the routing context for every owned node: neighbor maps
+// initialized to the namespace owners (ownerOf), and the peer's own digest.
+func (p *Peer) FinishSetup(ownerOf func(NodeID) ServerID) {
+	for _, hn := range p.hostedList {
+		p.initNeighbors(hn, ownerOf)
+	}
+	p.rebuildDigest()
+}
+
+func (p *Peer) initNeighbors(hn *hostedNode, ownerOf func(NodeID) ServerID) {
+	var ids []NodeID
+	if parent := p.tree.Parent(hn.id); parent != namespace.Invalid {
+		ids = append(ids, parent)
+	}
+	ids = append(ids, p.tree.Children(hn.id)...)
+	hn.neighborIDs = ids
+	for _, nb := range ids {
+		if e, ok := p.neighborMaps[nb]; ok {
+			e.refs++
+			continue
+		}
+		p.neighborMaps[nb] = &neighborMapEntry{
+			m:    SingleServerMap(ownerOf(nb)),
+			refs: 1,
+		}
+	}
+}
+
+// OwnedCount returns the number of nodes this peer owns.
+func (p *Peer) OwnedCount() int { return p.ownedCount }
+
+// ReplicaCount returns the number of replicas currently hosted.
+func (p *Peer) ReplicaCount() int { return len(p.hostedList) - p.ownedCount }
+
+// CacheLen returns the number of cached entries.
+func (p *Peer) CacheLen() int { return p.cache.Len() }
+
+// Hosts reports whether the peer currently hosts (owns or replicates) node.
+func (p *Peer) Hosts(node NodeID) bool {
+	_, ok := p.hosted[node]
+	return ok
+}
+
+// HostsReplica reports whether the peer holds a replica (not ownership) of
+// node.
+func (p *Peer) HostsReplica(node NodeID) bool {
+	hn, ok := p.hosted[node]
+	return ok && !hn.owned
+}
+
+// maxReplicas returns the Frepl-derived hosting bound (§3.4).
+func (p *Peer) maxReplicas() int {
+	return int(p.cfg.ReplFactor * float64(p.ownedCount))
+}
+
+// effLoad is the load value protocol decisions use: the measured load plus
+// the post-replication hysteresis bias (§3.3 step 4), clamped to [0,1].
+func (p *Peer) effLoad() float64 {
+	l := p.env.Load() + p.loadBias
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// touchNode charges one query's worth of weight to hn (§3.2) and refreshes
+// its recency.
+func (p *Peer) touchNode(hn *hostedNode) {
+	now := p.env.Now()
+	if hn.weightT > 0 && now > hn.weightT {
+		hn.weight *= math.Exp2(-(now - hn.weightT) / p.cfg.WeightHalfLife)
+	}
+	hn.weight++
+	hn.weightT = now
+	hn.lastUsed = now
+}
+
+// decayedWeight returns hn's weight decayed to the present without charging.
+func (p *Peer) decayedWeight(hn *hostedNode) float64 {
+	now := p.env.Now()
+	if hn.weightT <= 0 || now <= hn.weightT {
+		return hn.weight
+	}
+	return hn.weight * math.Exp2(-(now-hn.weightT)/p.cfg.WeightHalfLife)
+}
+
+// rebuildDigest regenerates the peer's own Bloom digest from the hosted set
+// and bumps its version. A published digest is immutable: rebuilds always
+// allocate a fresh filter, so snapshots can be shared by pointer with every
+// outgoing message instead of cloned per message.
+func (p *Peer) rebuildDigest() {
+	n := len(p.hostedList)
+	if n < 1 {
+		n = 1
+	}
+	bits := uint64(p.cfg.DigestBitsPerNode * n)
+	nf := bloom.New(bits, uint32(p.cfg.DigestHashes))
+	if p.digest != nil {
+		nf.SetVersion(p.digest.Version())
+	}
+	for _, hn := range p.hostedList {
+		nf.Add(NodeKey(hn.id))
+	}
+	nf.BumpVersion()
+	p.digest = nf
+	p.digestDirty = false
+}
+
+// Digest returns the peer's current inverse-mapping digest (not a copy).
+func (p *Peer) Digest() *bloom.Filter { return p.digest }
+
+// storeDigest retains a foreign digest if it is new or newer than what we
+// hold, evicting the stalest entry when over capacity.
+func (p *Peer) storeDigest(server ServerID, f *bloom.Filter) {
+	if !p.cfg.DigestsEnabled || f == nil || server == p.ID || p.cfg.MaxDigests == 0 {
+		return
+	}
+	now := p.env.Now()
+	if e, ok := p.digests[server]; ok {
+		if f.Version() > e.filter.Version() {
+			e.filter = f
+			e.updated = now
+		}
+		return
+	}
+	if len(p.digestList) >= p.cfg.MaxDigests {
+		// O(1) round-robin eviction: replace the slot under the clock hand.
+		// (Exact LRU would scan; digests refresh constantly via piggyback,
+		// so approximate recycling is sufficient and cheap.)
+		slot := p.digestClock % len(p.digestList)
+		p.digestClock++
+		victim := p.digestList[slot]
+		delete(p.digests, victim.server)
+		e := &digestEntry{server: server, filter: f, updated: now}
+		p.digestList[slot] = e
+		p.digests[server] = e
+		return
+	}
+	e := &digestEntry{server: server, filter: f, updated: now}
+	p.digests[server] = e
+	p.digestList = append(p.digestList, e)
+}
+
+// digestSays tests whether `server` plausibly hosts `node`: true when no
+// information contradicts it (unknown digests are permissive — pruning is
+// conservative, §3.6.2). With an oracle installed, the answer is exact.
+func (p *Peer) digestSays(server ServerID, node NodeID) bool {
+	if !p.cfg.DigestsEnabled {
+		return true
+	}
+	if server == p.ID {
+		return p.Hosts(node)
+	}
+	if p.OracleHosts != nil {
+		for _, s := range p.OracleHosts(node) {
+			if s == server {
+				return true
+			}
+		}
+		return false
+	}
+	e, ok := p.digests[server]
+	if !ok {
+		return true
+	}
+	return e.filter.Test(NodeKey(node))
+}
+
+// keepFor returns the digest-based map filtering predicate for node (§3.7
+// map filtering), or nil when digests are disabled.
+func (p *Peer) keepFor(node NodeID) func(ServerID) bool {
+	if !p.cfg.DigestsEnabled {
+		return nil
+	}
+	return func(s ServerID) bool { return p.digestSays(s, node) }
+}
+
+// recordLoad notes a gossiped load observation. When the bounded table is
+// full a uniformly random resident entry is displaced — O(1), and since
+// loads refresh on every message the table self-repairs quickly.
+func (p *Peer) recordLoad(server ServerID, load, now float64) {
+	if server == p.ID || server == NoServer {
+		return
+	}
+	if _, ok := p.knownLoads[server]; ok {
+		p.knownLoads[server] = loadInfo{load: load, updated: now}
+		return
+	}
+	if len(p.knownLoadKeys) >= p.cfg.MaxKnownLoads {
+		slot := p.src.Intn(len(p.knownLoadKeys))
+		delete(p.knownLoads, p.knownLoadKeys[slot])
+		p.knownLoadKeys[slot] = server
+	} else {
+		p.knownLoadKeys = append(p.knownLoadKeys, server)
+	}
+	p.knownLoads[server] = loadInfo{load: load, updated: now}
+}
+
+// KnownLoadCount returns the size of the gossiped-load table.
+func (p *Peer) KnownLoadCount() int { return len(p.knownLoads) }
+
+// piggyback builds the rider attached to an outgoing message: own identity
+// and load, fresh replica adverts, own digest plus a bounded sample of
+// foreign digests (transitive dissemination, §6).
+func (p *Peer) piggyback() Piggyback {
+	pb := Piggyback{From: p.ID, Load: p.effLoad()}
+	now := p.env.Now()
+	// Expire stale adverts in place.
+	kept := p.recentAdverts[:0]
+	for _, a := range p.recentAdverts {
+		if now-a.created <= advertTTL {
+			kept = append(kept, a)
+		}
+	}
+	p.recentAdverts = kept
+	for _, a := range kept {
+		pb.Adverts = append(pb.Adverts, Advert{Node: a.node, Servers: append([]ServerID(nil), a.servers...)})
+	}
+	if p.cfg.DigestsEnabled && p.cfg.DigestsPerMessage > 0 {
+		if p.digestDirty {
+			p.rebuildDigest()
+		}
+		// Digests are immutable snapshots (see rebuildDigest), shared by
+		// pointer — no per-message copies.
+		pb.Digests = append(pb.Digests, DigestUpdate{Server: p.ID, Digest: p.digest})
+		for i := 1; i < p.cfg.DigestsPerMessage && len(p.digestList) > 0; i++ {
+			e := p.digestList[p.src.Intn(len(p.digestList))]
+			pb.Digests = append(pb.Digests, DigestUpdate{Server: e.server, Digest: e.filter})
+		}
+	}
+	return pb
+}
+
+// absorbPiggy ingests a received rider: load gossip, adverts, digests.
+func (p *Peer) absorbPiggy(pb *Piggyback) {
+	now := p.env.Now()
+	if pb.From != NoServer && pb.From != p.ID {
+		p.recordLoad(pb.From, pb.Load, now)
+	}
+	for i := range pb.Digests {
+		p.storeDigest(pb.Digests[i].Server, pb.Digests[i].Digest)
+	}
+	for i := range pb.Adverts {
+		p.absorbAdvert(&pb.Adverts[i])
+	}
+}
+
+// absorbAdvert folds a new-replica advertisement into whatever map this peer
+// keeps for the node (hosted/neighbor/cached); if none and caching is on, a
+// new cache entry is created.
+func (p *Peer) absorbAdvert(a *Advert) {
+	if len(a.Servers) == 0 {
+		return
+	}
+	target := p.mapFor(a.Node)
+	if target == nil {
+		if p.cfg.CachingEnabled {
+			m := NodeMap{}
+			for _, s := range a.Servers {
+				if s != p.ID {
+					m.AddAdvertised(s, p.cfg.MapSize)
+				}
+			}
+			if m.Len() > 0 {
+				p.cache.Put(a.Node, m)
+			}
+		}
+		return
+	}
+	for i := len(a.Servers) - 1; i >= 0; i-- { // oldest first so newest ends in front
+		target.AddAdvertised(a.Servers[i], p.cfg.MapSize)
+	}
+	// Advert pinning can displace entries from a full map; a hosted node's
+	// self entry must survive.
+	if p.Hosts(a.Node) {
+		p.ensureSelf(target)
+	}
+}
+
+// mapFor returns the authoritative map this peer keeps for node: hosted
+// self-map, neighbor map, or cached map — nil if none. The returned pointer
+// may be mutated in place.
+func (p *Peer) mapFor(node NodeID) *NodeMap {
+	if hn, ok := p.hosted[node]; ok {
+		return &hn.selfMap
+	}
+	if e, ok := p.neighborMaps[node]; ok {
+		return &e.m
+	}
+	return p.cache.Peek(node)
+}
+
+// learnMap merges an incoming map for node into the peer's state (§3.7 map
+// merging), applying digest filtering and stale-self purging.
+func (p *Peer) learnMap(node NodeID, incoming *NodeMap) {
+	hosted := p.Hosts(node)
+	if !hosted && incoming.Contains(p.ID) {
+		// We appear in a map for a node we do not host: purge the stale
+		// entry before storing (§3.5 "removing stale entries from maps when
+		// they are routed through servers").
+		inc := incoming.Clone()
+		inc.Remove(p.ID)
+		incoming = &inc
+		p.Stats.StaleSelfPurged++
+	}
+	if incoming.Len() == 0 {
+		return
+	}
+	keep := p.keepFor(node)
+	if hn, ok := p.hosted[node]; ok {
+		hn.selfMap.Merge(incoming, p.cfg.MapSize, p.src, keep)
+		p.ensureSelf(&hn.selfMap)
+		return
+	}
+	if e, ok := p.neighborMaps[node]; ok {
+		e.m.Merge(incoming, p.cfg.MapSize, p.src, keep)
+		return
+	}
+	if !p.cfg.CachingEnabled {
+		return
+	}
+	if m := p.cache.Get(node); m != nil {
+		m.Merge(incoming, p.cfg.MapSize, p.src, keep)
+		return
+	}
+	c := incoming.Clone()
+	c.Truncate(p.cfg.MapSize)
+	p.cache.Put(node, c)
+}
+
+// ensureSelf guarantees the peer appears in a map of a node it hosts.
+func (p *Peer) ensureSelf(m *NodeMap) {
+	if m.Contains(p.ID) {
+		return
+	}
+	if m.Len() >= p.cfg.MapSize && m.Len() > 0 {
+		m.Servers[m.Len()-1] = p.ID // displace the last regular entry
+	} else {
+		m.Servers = append(m.Servers, p.ID)
+	}
+}
+
+// outgoingMap builds the bounded map to propagate for node: the stored map,
+// cloned, with self guaranteed when hosting (§3.7 map size constraint applies
+// to propagated maps too).
+func (p *Peer) outgoingMap(node NodeID) NodeMap {
+	src := p.mapFor(node)
+	if src == nil {
+		if p.Hosts(node) {
+			return SingleServerMap(p.ID)
+		}
+		return NodeMap{}
+	}
+	m := src.Clone()
+	if p.Hosts(node) {
+		p.ensureSelf(&m)
+	}
+	m.Truncate(p.cfg.MapSize)
+	return m
+}
+
+// Maintain runs the periodic housekeeping tick: digest rebuild when dirty,
+// hysteresis bias decay, advert expiry, and age-based replica eviction
+// (§3.5). The driver (cluster or overlay) calls it every
+// cfg.MaintainInterval seconds.
+func (p *Peer) Maintain() {
+	now := p.env.Now()
+	if p.cfg.AdaptiveThigh {
+		sum, n := 0.0, 0
+		for _, li := range p.knownLoads {
+			sum += li.load
+			n++
+		}
+		if n > 0 {
+			p.sysLoadEst = sum / float64(n)
+		}
+	}
+	p.loadBias *= 0.5
+	if math.Abs(p.loadBias) < 1e-4 {
+		p.loadBias = 0
+	}
+	if p.digestDirty {
+		p.rebuildDigest()
+	}
+	if p.cfg.ReplicaEvictAge > 0 {
+		var victims []NodeID
+		for _, hn := range p.hostedList {
+			if !hn.owned && now-hn.lastUsed > p.cfg.ReplicaEvictAge {
+				victims = append(victims, hn.id)
+			}
+		}
+		for _, v := range victims {
+			p.evictReplica(v)
+		}
+	}
+}
+
+// evictReplica removes a hosted replica and its context (owned nodes are
+// never evicted). It reports whether an eviction happened.
+func (p *Peer) evictReplica(node NodeID) bool {
+	hn, ok := p.hosted[node]
+	if !ok || hn.owned {
+		return false
+	}
+	delete(p.hosted, node)
+	for i, h := range p.hostedList {
+		if h == hn {
+			p.hostedList = append(p.hostedList[:i], p.hostedList[i+1:]...)
+			break
+		}
+	}
+	for _, nb := range hn.neighborIDs {
+		if e, ok := p.neighborMaps[nb]; ok {
+			e.refs--
+			if e.refs <= 0 {
+				delete(p.neighborMaps, nb)
+			}
+		}
+	}
+	p.digestDirty = true
+	p.Stats.ReplicaEvictions++
+	if p.Hooks.OnReplicaEvicted != nil {
+		p.Hooks.OnReplicaEvicted(node)
+	}
+	return true
+}
+
+// rankHosted returns hosted nodes ordered by decayed weight, heaviest first
+// (ties by node id for determinism).
+func (p *Peer) rankHosted() []*hostedNode {
+	ranked := append([]*hostedNode(nil), p.hostedList...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		wi, wj := p.decayedWeight(ranked[i]), p.decayedWeight(ranked[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	return ranked
+}
+
+// NodeWeight exposes a hosted node's decayed ranking weight (testing and
+// introspection).
+func (p *Peer) NodeWeight(node NodeID) float64 {
+	hn, ok := p.hosted[node]
+	if !ok {
+		return 0
+	}
+	return p.decayedWeight(hn)
+}
+
+// SetMeta updates an owned node's metadata (owner-only mutation, §2.3),
+// bumping its version. It reports whether the peer owns the node.
+func (p *Peer) SetMeta(node NodeID, attrs map[string]string) bool {
+	hn, ok := p.hosted[node]
+	if !ok || !hn.owned {
+		return false
+	}
+	hn.meta.Version++
+	hn.meta.Attrs = attrs
+	return true
+}
+
+// MetaOf returns the metadata this peer holds for a hosted node.
+func (p *Peer) MetaOf(node NodeID) (Meta, bool) {
+	hn, ok := p.hosted[node]
+	if !ok {
+		return Meta{}, false
+	}
+	return hn.meta.Clone(), true
+}
+
+// SetData stores an owned node's application data (owner-only, like meta).
+// It reports whether the peer owns the node.
+func (p *Peer) SetData(node NodeID, data []byte) bool {
+	hn, ok := p.hosted[node]
+	if !ok || !hn.owned {
+		return false
+	}
+	hn.data = append([]byte(nil), data...)
+	return true
+}
+
+// DataOf returns a copy of the node's data if this peer owns it.
+func (p *Peer) DataOf(node NodeID) ([]byte, bool) {
+	hn, ok := p.hosted[node]
+	if !ok || !hn.owned || hn.data == nil {
+		return nil, false
+	}
+	return append([]byte(nil), hn.data...), true
+}

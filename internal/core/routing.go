@@ -1,0 +1,330 @@
+package core
+
+import "terradir/internal/namespace"
+
+// HandleQuery processes one lookup at service completion: resolve locally if
+// this peer hosts the destination, otherwise forward to a host of the
+// closest known node (neighbor context, cache, or digest shortcut — §2.2,
+// §3.6.1). It is invoked by the driver when the query leaves the server's
+// request queue.
+func (p *Peer) HandleQuery(q *QueryMsg) {
+	p.Stats.Processed++
+	p.absorbPiggy(&q.Piggy)
+	p.absorbPath(q.Path)
+
+	// Weight accounting: processing happens on behalf of the node whose map
+	// the sender selected us from (§3.2); fall back to the node we resolve
+	// or route with below.
+	if q.OnBehalf != namespace.Invalid {
+		if hn, ok := p.hosted[q.OnBehalf]; ok {
+			p.touchNode(hn)
+		}
+	}
+
+	if hn, ok := p.hosted[q.Dest]; ok {
+		p.touchNode(hn)
+		p.sendResult(q, hn)
+		p.afterQuery()
+		return
+	}
+
+	if q.Hops >= p.cfg.MaxHops {
+		p.sendFail(q, FailTTL)
+		p.afterQuery()
+		return
+	}
+
+	var target ServerID = NoServer
+	var onBehalf NodeID = namespace.Invalid
+	var newDist int
+	var closestHosted *hostedNode
+	var skip map[NodeID]bool
+	shortcutTried := false
+	// Candidate selection loop: take the closest known node; if its map is
+	// unusable after digest filtering (§3.7 map filtering is strict — stale
+	// entries are pruned, never re-selected), discard it and fall back to
+	// the next-best candidate. Bounded: each iteration removes a candidate.
+	for attempt := 0; attempt < 6; attempt++ {
+		cand, candMap, candDist, closest := p.bestCandidate(q.Dest, skip)
+		if closest != nil {
+			closestHosted = closest
+		}
+		// Digest shortcut discovery (§3.6.1): a hit on a node even closer to
+		// the destination than our best candidate redirects the forward.
+		if !shortcutTried && p.cfg.DigestsEnabled {
+			shortcutTried = true
+			limit := candDist
+			if candMap == nil {
+				limit = int(^uint(0) >> 1) // no candidate: any hit helps
+			}
+			if s, node, d := p.digestShortcut(q.Dest, limit); s != NoServer {
+				target, onBehalf, newDist = s, node, d
+				p.Stats.DigestShortcuts++
+				break
+			}
+		}
+		if candMap == nil {
+			break
+		}
+		viaCache := p.cache.Peek(cand) == candMap
+		target = candMap.Pick(p.src, p.ID, p.keepFor(cand))
+		if target != NoServer {
+			onBehalf, newDist = cand, candDist
+			if viaCache {
+				p.cache.Get(cand) // touch: used in routing (§2.4)
+				p.Stats.CacheHits++
+			} else {
+				p.Stats.ContextHops++
+			}
+			break
+		}
+		// Unusable candidate: prune digest-refuted entries permanently and
+		// skip it for the remainder of this decision.
+		if keep := p.keepFor(cand); keep != nil {
+			candMap.Prune(keep)
+		}
+		if viaCache && candMap.Len() == 0 {
+			p.cache.Delete(cand)
+		}
+		if skip == nil {
+			skip = make(map[NodeID]bool, 4)
+		}
+		skip[cand] = true
+	}
+	if target == NoServer {
+		p.sendFail(q, FailNoRoute)
+		p.afterQuery()
+		return
+	}
+
+	if p.Hooks.OnForwardStep != nil && q.Hops > 0 {
+		p.Hooks.OnForwardStep(int(q.PrevDist), newDist)
+	}
+
+	// Charge the routing work to the hosted node whose context represents
+	// this step if the sender's OnBehalf was stale.
+	if q.OnBehalf == namespace.Invalid || !p.Hosts(q.OnBehalf) {
+		if closestHosted != nil {
+			p.touchNode(closestHosted)
+		}
+	}
+
+	fwd := &QueryMsg{
+		QueryID:  q.QueryID,
+		Dest:     q.Dest,
+		Source:   q.Source,
+		OnBehalf: onBehalf,
+		Hops:     q.Hops + 1,
+		Started:  q.Started,
+		PrevDist: int32(newDist),
+		Path:     p.extendPath(q.Path, closestHosted),
+		Piggy:    p.piggyback(),
+	}
+	p.Stats.Forwarded++
+	p.env.Send(target, fwd)
+	p.afterQuery()
+}
+
+// bestCandidate returns the closest node to dest this peer knows a map for
+// (§2.2's minimizing procedure): the ideal next-hop neighbors of hosted
+// nodes and all cached nodes, excluding any in `skip` (candidates already
+// found unusable for the current decision). It also returns the hosted node
+// closest to dest (the context representative for path propagation). A nil
+// map means no usable candidate.
+func (p *Peer) bestCandidate(dest NodeID, skip map[NodeID]bool) (cand NodeID, m *NodeMap, dist int, closestHosted *hostedNode) {
+	cand = namespace.Invalid
+	bestDist := int(^uint(0) >> 1)
+	hostedDist := int(^uint(0) >> 1)
+	for _, hn := range p.hostedList {
+		d := p.tree.Distance(hn.id, dest)
+		if d < hostedDist {
+			hostedDist = d
+			closestHosted = hn
+		}
+		if d-1 >= bestDist {
+			continue
+		}
+		nh := p.tree.NextHopToward(hn.id, dest)
+		if nh == namespace.Invalid || skip[nh] {
+			continue
+		}
+		e, ok := p.neighborMaps[nh]
+		if !ok || e.m.Len() == 0 {
+			continue
+		}
+		cand, m, bestDist = nh, &e.m, d-1
+	}
+	// Cached nodes (§2.4): pointers without context; strictly-better only,
+	// so context hops win ties (guaranteed progress beats a stale pointer).
+	p.cache.Each(func(node NodeID, cm *NodeMap) {
+		if cm.Len() == 0 || skip[node] {
+			return
+		}
+		d := p.tree.Distance(node, dest)
+		if d < bestDist {
+			cand, m, bestDist = node, cm, d
+		}
+	})
+	return cand, m, bestDist, closestHosted
+}
+
+// digestShortcut scans the destination's ancestor chain (deepest first — the
+// closest possible nodes to dest on its root path) against known digests and
+// returns a server advertising a node strictly closer than limit, with that
+// node and its distance. Nodes off the destination's root path are dominated
+// by their LCA-depth ancestor on the path, so the path scan captures the
+// profitable shortcuts (§3.6.1, Fig. 2) at O(depth × digests) cost.
+func (p *Peer) digestShortcut(dest NodeID, limit int) (ServerID, NodeID, int) {
+	if p.OracleHosts == nil && len(p.digestList) == 0 {
+		return NoServer, namespace.Invalid, 0
+	}
+	p.scanClock += 7 // advance the rotating window each hop (odd stride)
+	destDepth := p.tree.Depth(dest)
+	minDepth := destDepth - limit + 1
+	if lvl := p.cfg.DigestShortcutLevels; lvl > 0 && destDepth-lvl+1 > minDepth {
+		minDepth = destDepth - lvl + 1 // cost cap, see Config.DigestShortcutLevels
+	}
+	if minDepth < 0 {
+		minDepth = 0
+	}
+	node := dest
+	for k := destDepth; k >= minDepth; k-- {
+		if k < destDepth {
+			node = p.tree.Parent(node)
+		}
+		if p.OracleHosts != nil {
+			hosts := p.OracleHosts(node)
+			n := 0
+			var chosen ServerID = NoServer
+			for _, s := range hosts {
+				if s == p.ID {
+					continue
+				}
+				n++
+				if p.src.Intn(n) == 0 {
+					chosen = s
+				}
+			}
+			if chosen != NoServer {
+				return chosen, node, destDepth - k
+			}
+			continue
+		}
+		key := NodeKey(node)
+		n := 0
+		var chosen ServerID = NoServer
+		// Scan a rotating window of the digest table (coverage spreads over
+		// consecutive hops; see Config.DigestScanPerHop).
+		total := len(p.digestList)
+		scan := total
+		if p.cfg.DigestScanPerHop > 0 && p.cfg.DigestScanPerHop < total {
+			scan = p.cfg.DigestScanPerHop
+		}
+		start := 0
+		if scan < total {
+			start = p.scanClock % total
+		}
+		for i := 0; i < scan; i++ {
+			e := p.digestList[(start+i)%total]
+			if e.server == p.ID {
+				continue
+			}
+			if e.filter.Test(key) {
+				n++
+				if p.src.Intn(n) == 0 {
+					chosen = e.server
+				}
+			}
+		}
+		if chosen != NoServer {
+			return chosen, node, destDepth - k
+		}
+	}
+	return NoServer, namespace.Invalid, 0
+}
+
+// extendPath appends this peer's path entry — its closest hosted node and
+// that node's map — implementing path propagation (§2.4). With path
+// propagation disabled only the first entry (the source's) is recorded, so
+// endpoint caching still works. The path is bounded by MaxPathEntries
+// (oldest entries beyond the source are dropped first).
+//
+// Ownership transfer: a received message's path belongs to its handler (the
+// sender built a fresh slice and never retains it; absorbPath only copies
+// values out), so the slice is extended in place rather than deep-cloned.
+func (p *Peer) extendPath(path []PathEntry, rep *hostedNode) []PathEntry {
+	if rep == nil {
+		return path
+	}
+	if !p.cfg.PathPropagation && len(path) > 0 {
+		return path
+	}
+	out := path
+	if len(out) >= p.cfg.MaxPathEntries && len(out) > 1 {
+		copy(out[1:], out[2:]) // keep the source entry, drop the oldest middle
+		out = out[:len(out)-1]
+	}
+	if len(out) < p.cfg.MaxPathEntries || p.cfg.MaxPathEntries == 0 {
+		out = append(out, PathEntry{Node: rep.id, Map: p.outgoingMap(rep.id)})
+	}
+	return out
+}
+
+// absorbPath caches every entry of the propagated path (§2.4: "the path so
+// far is cached at every step along the query path").
+func (p *Peer) absorbPath(path []PathEntry) {
+	for i := range path {
+		p.learnMap(path[i].Node, &path[i].Map)
+	}
+}
+
+// sendResult answers a lookup: name, metadata, and a mapping for the node
+// (§2.1 lookup semantics), plus the completed path so the source caches it.
+func (p *Peer) sendResult(q *QueryMsg, hn *hostedNode) {
+	path := p.extendPath(q.Path, hn)
+	res := &ResultMsg{
+		QueryID: q.QueryID,
+		Dest:    q.Dest,
+		OK:      true,
+		Hops:    q.Hops,
+		Started: q.Started,
+		Meta:    hn.meta.Clone(),
+		Map:     p.outgoingMap(hn.id),
+		Path:    path,
+		Piggy:   p.piggyback(),
+	}
+	p.Stats.Resolved++
+	p.Stats.ResultsSent++
+	p.env.Send(q.Source, res)
+}
+
+func (p *Peer) sendFail(q *QueryMsg, reason FailReason) {
+	if reason == FailTTL {
+		p.Stats.FailedTTL++
+	} else {
+		p.Stats.FailedNoRoute++
+	}
+	res := &ResultMsg{
+		QueryID: q.QueryID,
+		Dest:    q.Dest,
+		OK:      false,
+		Reason:  reason,
+		Hops:    q.Hops,
+		Started: q.Started,
+		Path:    q.Path, // ownership transfer, see extendPath
+		Piggy:   p.piggyback(),
+	}
+	p.Stats.ResultsSent++
+	p.env.Send(q.Source, res)
+}
+
+// HandleResult ingests a lookup answer arriving back at the initiating
+// server: the full path (including the destination) is cached at the source,
+// completing path propagation.
+func (p *Peer) HandleResult(r *ResultMsg) {
+	p.absorbPiggy(&r.Piggy)
+	p.absorbPath(r.Path)
+	if r.OK && r.Map.Len() > 0 {
+		p.learnMap(r.Dest, &r.Map)
+	}
+}

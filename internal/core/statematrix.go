@@ -1,0 +1,24 @@
+package core
+
+// StateRow describes the state a server maintains for one class of
+// server-node relationship — the rows of the paper's Table 1.
+type StateRow struct {
+	Relationship string
+	Name         bool // the node's fully qualified name
+	Map          bool // a (bounded) set of servers hosting the node
+	Data         bool // the node's application data
+	Meta         bool // node annotations (attributes)
+	Context      bool // neighbor maps guaranteeing incremental progress
+}
+
+// StateMatrix returns the server-node relationship table (paper Table 1).
+// TestStateMatrixMatchesImplementation asserts that live Peer state agrees
+// with every cell, so this is generated documentation, not a transcript.
+func StateMatrix() []StateRow {
+	return []StateRow{
+		{Relationship: "Owned", Name: true, Map: true, Data: true, Meta: true, Context: true},
+		{Relationship: "Replicated", Name: true, Map: true, Data: false, Meta: true, Context: true},
+		{Relationship: "Neighboring", Name: true, Map: true, Data: false, Meta: false, Context: false},
+		{Relationship: "Cached", Name: true, Map: true, Data: false, Meta: false, Context: false},
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "testing"
+
+// TestStateMatrixMatchesImplementation asserts that StateMatrix (the
+// generated Table 1) agrees with the state a live Peer actually maintains
+// for each server-node relationship — so the table is verified
+// documentation, not a transcript.
+func TestStateMatrixMatchesImplementation(t *testing.T) {
+	tree, ids := paperTree()
+	env := &fakeEnv{}
+	p := newTestPeer(t, tree, 0, []NodeID{ids["/u/pub/people"]}, 1, DefaultConfig(), env)
+
+	// Install a replica (of /u/priv/people) with context.
+	pl := ReplicaPayload{
+		Node:       ids["/u/priv/people"],
+		Meta:       Meta{Version: 3},
+		SelfMap:    SingleServerMap(2),
+		WeightHint: 1,
+		Neighbors: []NeighborMap{
+			{Node: ids["/u/priv"], Map: SingleServerMap(2)},
+			{Node: ids["/u/priv/people/staff"], Map: SingleServerMap(4)},
+		},
+	}
+	if !p.installReplica(&pl, 2) {
+		t.Fatal("install failed")
+	}
+	// Cache an unrelated node's map.
+	cached := NodeMap{Servers: []ServerID{3}}
+	p.learnMap(ids["/u/pub/people/students/Steve"], &cached)
+
+	type obs struct {
+		name, mp, data, meta, context bool
+	}
+	observe := map[string]obs{}
+
+	// Owned: /u/pub/people.
+	{
+		hn := p.hosted[ids["/u/pub/people"]]
+		_, hasMeta := p.MetaOf(hn.id)
+		observe["Owned"] = obs{
+			name:    p.tree.Name(hn.id) != "",
+			mp:      p.mapFor(hn.id) != nil,
+			data:    hn.hasData,
+			meta:    hasMeta,
+			context: len(hn.neighborIDs) > 0,
+		}
+	}
+	// Replicated: /u/priv/people.
+	{
+		hn := p.hosted[ids["/u/priv/people"]]
+		_, hasMeta := p.MetaOf(hn.id)
+		observe["Replicated"] = obs{
+			name:    p.tree.Name(hn.id) != "",
+			mp:      p.mapFor(hn.id) != nil,
+			data:    hn.hasData,
+			meta:    hasMeta,
+			context: len(hn.neighborIDs) > 0,
+		}
+	}
+	// Neighboring: /u/pub (parent of the owned node).
+	{
+		nb := ids["/u/pub"]
+		_, hasMeta := p.MetaOf(nb)
+		_, isHosted := p.hosted[nb]
+		observe["Neighboring"] = obs{
+			name:    p.tree.Name(nb) != "",
+			mp:      p.mapFor(nb) != nil,
+			data:    false,
+			meta:    hasMeta || isHosted,
+			context: false, // no neighbor maps kept *for the neighbor itself*
+		}
+	}
+	// Cached: Steve.
+	{
+		cn := ids["/u/pub/people/students/Steve"]
+		_, hasMeta := p.MetaOf(cn)
+		observe["Cached"] = obs{
+			name:    p.tree.Name(cn) != "",
+			mp:      p.cache.Peek(cn) != nil,
+			data:    false,
+			meta:    hasMeta,
+			context: false,
+		}
+	}
+
+	for _, row := range StateMatrix() {
+		got, ok := observe[row.Relationship]
+		if !ok {
+			t.Fatalf("no observation for %q", row.Relationship)
+		}
+		if got.name != row.Name || got.mp != row.Map || got.data != row.Data ||
+			got.meta != row.Meta || got.context != row.Context {
+			t.Errorf("%s: implementation %+v does not match Table 1 row %+v", row.Relationship, got, row)
+		}
+	}
+}

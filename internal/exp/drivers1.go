@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+
+	"terradir/internal/cluster"
+	"terradir/internal/core"
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+	"terradir/internal/workload"
+)
+
+// zipfOrders are the Zipf exponents the paper sweeps (§4.1).
+var zipfOrders = []float64{0.75, 1.00, 1.25, 1.50}
+
+// run builds a cluster over tree, applies mut to the parameters, drives it
+// with w for dur seconds and drains in-flight work.
+func run(env Env, tree *namespace.Tree, w *workload.Workload, dur float64, mut func(*cluster.Params)) *cluster.Cluster {
+	p := env.Params(tree)
+	if mut != nil {
+		mut(&p)
+	}
+	c, err := cluster.New(p)
+	if err != nil {
+		panic(fmt.Sprintf("exp: cluster setup: %v", err))
+	}
+	c.Run(w, dur)
+	c.Drain(10)
+	return c
+}
+
+// shiftStream builds the paper's composed "unif ∘ uzipf×4" adaptation stream
+// (§4.2): a uniform warmup taking warmupFrac of the run, then four Zipf
+// segments with fresh random rankings.
+func shiftStream(tree *namespace.Tree, seed uint64, alpha, rate, dur, warmupFrac float64, k int) *workload.Workload {
+	return workload.UnifThenZipfShifts(tree.Len(), rng.New(seed), alpha, rate, dur*warmupFrac, dur, k)
+}
+
+func init() {
+	register("table1", "Server-node relationships (paper Table 1)", Table1)
+	register("fig3", "Dropped queries over time, namespace Ns (paper Fig. 3)", Fig3)
+	register("fig4", "Created replicas over time, namespace Nc (paper Fig. 4)", Fig4)
+	register("fig5", "Dropped queries: base vs caching vs replication (paper Fig. 5)", Fig5)
+}
+
+// Table1 regenerates the paper's Table 1 from core.StateMatrix (which the
+// core test suite asserts against live Peer state).
+func Table1(Env) *Result {
+	r := &Result{
+		ID:     "table1",
+		Title:  "Server-node relationships and state maintained",
+		Header: []string{"relationship", "name", "map", "data", "meta", "context"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	for _, row := range core.StateMatrix() {
+		r.AddRow(row.Relationship, mark(row.Name), mark(row.Map), mark(row.Data), mark(row.Meta), mark(row.Context))
+	}
+	return r
+}
+
+// Fig3 reproduces Fig. 3: fraction of queries dropped every second (relative
+// to the arrival rate λ=20,000/s at paper scale) over a 250 s run of Ns,
+// for the unif stream and the four unif∘uzipf×4 streams. As in the paper,
+// the uniform warmup of each uzipf stream is staggered (longer for higher
+// α) so the re-rank spikes are visually separated.
+func Fig3(env Env) *Result {
+	tree := env.NsTree()
+	dur := env.Duration(250)
+	rate := env.Lambda(20000)
+	streams := []struct {
+		name  string
+		alpha float64 // <0 = uniform
+		wfrac float64
+	}{
+		{"unif", -1, 0},
+		{"uzipf0.75", 0.75, 0.24},
+		{"uzipf1.00", 1.00, 0.28},
+		{"uzipf1.25", 1.25, 0.32},
+		{"uzipf1.50", 1.50, 0.36},
+	}
+	r := &Result{
+		ID:     "fig3",
+		Title:  "Fraction of queries dropped every second, namespace Ns",
+		Header: []string{"t"},
+	}
+	r.Notef("servers=%d nodes=%d lambda=%.0f duration=%.0fs", env.Servers(), tree.Len(), rate, dur)
+	series := make([][]float64, len(streams))
+	bins := 0
+	for i, s := range streams {
+		var w *workload.Workload
+		if s.alpha < 0 {
+			w = workload.Unif(tree.Len(), rng.New(env.Seed+7), rate, dur)
+		} else {
+			w = shiftStream(tree, env.Seed+7+uint64(i), s.alpha, rate, dur, s.wfrac, 4)
+		}
+		c := run(env, tree, w, dur, nil)
+		drops := c.Metrics.Drops
+		vals := make([]float64, int(dur))
+		for t := range vals {
+			vals[t] = drops.Sum(t) / rate
+		}
+		series[i] = vals
+		if len(vals) > bins {
+			bins = len(vals)
+		}
+		r.Header = append(r.Header, s.name)
+		r.Notef("%s: total drop fraction %.4f, replicas created %d",
+			s.name, c.Metrics.DropFraction(), c.Metrics.TotalCreations())
+	}
+	for t := 0; t < bins; t++ {
+		row := []interface{}{t}
+		for _, vals := range series {
+			v := 0.0
+			if t < len(vals) {
+				v = vals[t]
+			}
+			row = append(row, v)
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// Fig4 reproduces Fig. 4: replicas created every second (relative to the
+// doubled arrival rate, λ=40,000/s at paper scale) over a run of the
+// file-system namespace Nc, for the same five streams.
+func Fig4(env Env) *Result {
+	tree := env.NcTree()
+	dur := env.Duration(250)
+	rate := env.Lambda(40000)
+	streams := []struct {
+		name  string
+		alpha float64
+		wfrac float64
+	}{
+		{"unif", -1, 0},
+		{"uzipf0.75", 0.75, 0.24},
+		{"uzipf1.00", 1.00, 0.28},
+		{"uzipf1.25", 1.25, 0.32},
+		{"uzipf1.50", 1.50, 0.36},
+	}
+	r := &Result{
+		ID:     "fig4",
+		Title:  "Fraction of replicas created every second, namespace Nc",
+		Header: []string{"t"},
+	}
+	r.Notef("servers=%d nodes=%d lambda=%.0f duration=%.0fs", env.Servers(), tree.Len(), rate, dur)
+	series := make([][]float64, len(streams))
+	bins := 0
+	for i, s := range streams {
+		var w *workload.Workload
+		if s.alpha < 0 {
+			w = workload.Unif(tree.Len(), rng.New(env.Seed+11), rate, dur)
+		} else {
+			w = shiftStream(tree, env.Seed+11+uint64(i), s.alpha, rate, dur, s.wfrac, 4)
+		}
+		c := run(env, tree, w, dur, nil)
+		vals := make([]float64, int(dur))
+		for t := range vals {
+			vals[t] = c.Metrics.Creations.Sum(t) / rate
+		}
+		series[i] = vals
+		if len(vals) > bins {
+			bins = len(vals)
+		}
+		r.Header = append(r.Header, s.name)
+		r.Notef("%s: creations=%d dropFraction=%.4f", s.name, c.Metrics.TotalCreations(), c.Metrics.DropFraction())
+	}
+	for t := 0; t < bins; t++ {
+		row := []interface{}{t}
+		for _, vals := range series {
+			v := 0.0
+			if t < len(vals) {
+				v = vals[t]
+			}
+			row = append(row, v)
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// Fig5 reproduces Fig. 5: the total dropped-query fraction for the base
+// system (B), base+caching (BC) and base+caching+replication (BCR), across
+// ten query streams (unif and four Zipf orders on each namespace; S = Ns,
+// C = Nc).
+func Fig5(env Env) *Result {
+	r := &Result{
+		ID:     "fig5",
+		Title:  "Fraction of dropped queries: B vs BC vs BCR",
+		Header: []string{"stream", "B", "BC", "BCR"},
+	}
+	dur := env.Duration(120)
+	systems := []struct {
+		name string
+		mut  func(*cluster.Params)
+	}{
+		{"B", func(p *cluster.Params) {
+			p.Core.CachingEnabled = false
+			p.Core.ReplicationEnabled = false
+			p.Core.DigestsEnabled = false
+		}},
+		{"BC", func(p *cluster.Params) {
+			p.Core.ReplicationEnabled = false
+		}},
+		{"BCR", nil},
+	}
+	type ns struct {
+		tag  string
+		tree *namespace.Tree
+		rate float64
+	}
+	spaces := []ns{
+		{"S", env.NsTree(), env.Lambda(20000)},
+		{"C", env.NcTree(), env.Lambda(40000)},
+	}
+	r.Notef("servers=%d duration=%.0fs lambdaS=%.0f lambdaC=%.0f",
+		env.Servers(), dur, spaces[0].rate, spaces[1].rate)
+	for _, sp := range spaces {
+		streams := []struct {
+			name  string
+			alpha float64
+		}{
+			{"unif" + sp.tag, -1},
+			{fmt.Sprintf("uzipf%s0.75", sp.tag), 0.75},
+			{fmt.Sprintf("uzipf%s1.00", sp.tag), 1.00},
+			{fmt.Sprintf("uzipf%s1.25", sp.tag), 1.25},
+			{fmt.Sprintf("uzipf%s1.50", sp.tag), 1.50},
+		}
+		for si, st := range streams {
+			row := []interface{}{st.name}
+			for _, sys := range systems {
+				var w *workload.Workload
+				if st.alpha < 0 {
+					w = workload.Unif(sp.tree.Len(), rng.New(env.Seed+23+uint64(si)), sp.rate, dur)
+				} else {
+					w = shiftStream(sp.tree, env.Seed+23+uint64(si), st.alpha, sp.rate, dur, 0.25, 4)
+				}
+				c := run(env, sp.tree, w, dur, sys.mut)
+				row = append(row, c.Metrics.DropFraction())
+			}
+			r.AddRow(row...)
+		}
+	}
+	return r
+}

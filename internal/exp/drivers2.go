@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"math"
+
+	"terradir/internal/cluster"
+	"terradir/internal/core"
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+	"terradir/internal/stats"
+	"terradir/internal/workload"
+)
+
+func init() {
+	register("fig6", "Average and maximum server load over time (paper Fig. 6)", Fig6)
+	register("fig7", "Average replicas created per namespace level (paper Fig. 7)", Fig7)
+	register("fig8", "Replicas created per minute over long runs (paper Fig. 8)", Fig8)
+	register("fig9", "Scalability: latency, replications, drops vs system size (paper Fig. 9)", Fig9)
+}
+
+// Fig6 reproduces Fig. 6: per-second mean and maximum server load under the
+// unif∘uzipf1.00×4 stream at the three paper arrival rates, plus the maximum
+// smoothed over an 11-second window (right panel).
+func Fig6(env Env) *Result {
+	tree := env.NsTree()
+	dur := env.Duration(250)
+	rates := []float64{env.Lambda(4000), env.Lambda(10000), env.Lambda(20000)}
+	labels := []string{"4000", "10000", "20000"}
+	r := &Result{
+		ID:     "fig6",
+		Title:  "Server load as utilization over time (uzipf×4, alpha=1.0)",
+		Header: []string{"t"},
+	}
+	r.Notef("servers=%d nodes=%d duration=%.0fs Thigh=%.2f",
+		env.Servers(), tree.Len(), dur, core.DefaultConfig().Thigh)
+	type series struct{ avg, max, max11 []float64 }
+	all := make([]series, len(rates))
+	bins := 0
+	for i, rate := range rates {
+		w := shiftStream(tree, env.Seed+31+uint64(i), 1.0, rate, dur, 0.25, 4)
+		c := run(env, tree, w, dur, nil)
+		all[i] = series{
+			avg:   append([]float64(nil), c.Metrics.LoadAvg...),
+			max:   append([]float64(nil), c.Metrics.LoadMax...),
+			max11: stats.SlidingMean(c.Metrics.LoadMax, 11),
+		}
+		if len(all[i].avg) > bins {
+			bins = len(all[i].avg)
+		}
+		r.Header = append(r.Header,
+			"avg"+labels[i], "max"+labels[i], "max11_"+labels[i])
+		r.Notef("lambda=%s: mean load %.3f, drop fraction %.4f",
+			labels[i], c.Metrics.MeanLoad(), c.Metrics.DropFraction())
+	}
+	at := func(v []float64, i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	for t := 0; t < bins; t++ {
+		row := []interface{}{t + 1}
+		for _, s := range all {
+			row = append(row, at(s.avg, t), at(s.max, t), at(s.max11, t))
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// Fig7 reproduces Fig. 7: the average number of replicas created per node at
+// each level of Ns (root = level 0), under uniform and Zipf queries at three
+// arrival rates. The paper's signature shape: monotone decay with depth,
+// except an elevated level-2 bump (level-2 pointers linger in caches and
+// shortcut around levels 0–1).
+func Fig7(env Env) *Result {
+	tree := env.NsTree()
+	dur := env.Duration(250)
+	pop := tree.LevelPopulations()
+	r := &Result{
+		ID:     "fig7",
+		Title:  "Average replicas created per namespace tree level",
+		Header: []string{"level"},
+	}
+	r.Notef("servers=%d nodes=%d levels=%d duration=%.0fs", env.Servers(), tree.Len(), len(pop), dur)
+	configs := []struct {
+		name  string
+		alpha float64
+		rate  float64
+	}{
+		{"unif8000", -1, env.Lambda(8000)},
+		{"uzipf8000", 1.0, env.Lambda(8000)},
+		{"unif4000", -1, env.Lambda(4000)},
+		{"uzipf4000", 1.0, env.Lambda(4000)},
+		{"unif2000", -1, env.Lambda(2000)},
+		{"uzipf2000", 1.0, env.Lambda(2000)},
+	}
+	series := make([][]float64, len(configs))
+	for i, cf := range configs {
+		var w *workload.Workload
+		if cf.alpha < 0 {
+			w = workload.Unif(tree.Len(), rng.New(env.Seed+41+uint64(i)), cf.rate, dur)
+		} else {
+			w = workload.UZipf(tree.Len(), rng.New(env.Seed+41+uint64(i)), cf.alpha, cf.rate, dur)
+		}
+		c := run(env, tree, w, dur, nil)
+		vals := make([]float64, len(pop))
+		for lvl := range pop {
+			vals[lvl] = float64(c.Metrics.CreationsByLevel[lvl]) / float64(pop[lvl])
+		}
+		series[i] = vals
+		r.Header = append(r.Header, cf.name)
+	}
+	for lvl := range pop {
+		row := []interface{}{lvl}
+		for _, vals := range series {
+			row = append(row, vals[lvl])
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// Fig8 reproduces Fig. 8 (stabilization): replicas created per minute over a
+// long run (paper: 10,000 s) for unif and unif∘uzipf1.00 streams on both
+// namespaces. The uniform component of the composed stream lasts 100 s as in
+// §4.4; the creation rate must decay toward a quiescent trickle. Rates are
+// hot-spot-absolute (see Env.LambdaAbsolute) capped at a light-load anchor:
+// stabilization is a light-load phenomenon — near capacity, load shedding
+// legitimately never quiesces.
+func Fig8(env Env) *Result {
+	dur := env.Duration(10000)
+	r := &Result{
+		ID:     "fig8",
+		Title:  "Replicas created per minute (stabilization)",
+		Header: []string{"minute", "unifS", "unifC", "uzipfS1.00", "uzipfC1.00"},
+	}
+	nsTree, ncTree := env.NsTree(), env.NcTree()
+	warm := 100.0 * dur / 10000
+	configs := []struct {
+		name  string
+		tree  *namespace.Tree
+		rate  float64
+		mixed bool
+	}{
+		{"unifS", nsTree, env.LambdaAbsolute(2500, 10000), false},
+		{"unifC", ncTree, env.LambdaAbsolute(5000, 10000), false},
+		{"uzipfS1.00", nsTree, env.LambdaAbsolute(2500, 10000), true},
+		{"uzipfC1.00", ncTree, env.LambdaAbsolute(5000, 10000), true},
+	}
+	r.Notef("servers=%d duration=%.0fs warmup=%.0fs lambdaS=%.0f lambdaC=%.0f",
+		env.Servers(), dur, warm, configs[0].rate, configs[1].rate)
+	minutes := int(math.Ceil(dur / 60))
+	series := make([][]float64, len(configs))
+	for i, cf := range configs {
+		var w *workload.Workload
+		if cf.mixed {
+			w = workload.UnifThenZipfShifts(cf.tree.Len(), rng.New(env.Seed+53+uint64(i)), 1.0, cf.rate, warm, dur, 1)
+		} else {
+			w = workload.Unif(cf.tree.Len(), rng.New(env.Seed+53+uint64(i)), cf.rate, dur)
+		}
+		c := run(env, cf.tree, w, dur, nil)
+		vals := make([]float64, minutes)
+		for t := 0; t < c.Metrics.Creations.Len(); t++ {
+			m := t / 60
+			if m < minutes {
+				vals[m] += c.Metrics.Creations.Sum(t)
+			}
+		}
+		series[i] = vals
+		last := vals[len(vals)-1]
+		inj := c.Metrics.Injected.Total()
+		cr := c.Metrics.Creations.Total()
+		per := 0.0
+		if cr > 0 {
+			per = inj / cr
+		}
+		r.Notef("%s: final rate %.1f replicas/min; one replica per %.0f queries overall", cf.name, last, per)
+	}
+	for m := 0; m < minutes; m++ {
+		row := []interface{}{m}
+		for _, vals := range series {
+			row = append(row, vals[m])
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// Fig9 reproduces Fig. 9 (scalability): servers scale 2^6..2^14 with 8 nodes
+// per server (balanced assignment), cache slots and Msize logarithmic in
+// system size, Frepl = 2, and λ proportional to system size. Reported per
+// size: mean query latency, replica-creation events, and dropped queries
+// (the paper plots the latter two on a log scale).
+func Fig9(env Env) *Result {
+	r := &Result{
+		ID:    "fig9",
+		Title: "Scalability of latency, replication and drops",
+		Header: []string{"log2servers", "servers", "nodes", "latency_ms", "hops",
+			"replications", "log10repl", "drops", "log10drops", "dropFraction"},
+	}
+	maxExp := 14
+	if env.clampScale() < 1 {
+		// Scale the sweep's upper end: e.g. 0.05 → 2^6..2^10.
+		maxExp = 6 + int(math.Round(8*env.clampScale()*2))
+		if maxExp > 14 {
+			maxExp = 14
+		}
+		if maxExp < 8 {
+			maxExp = 8
+		}
+	}
+	dur := env.Duration(60)
+	r.Notef("sweep=2^6..2^%d nodes/server=8 Frepl=2 lambda=12.5/server duration=%.0fs", maxExp, dur)
+	for e := 6; e <= maxExp; e++ {
+		servers := 1 << uint(e)
+		tree := namespace.NewBalanced(2, e+3) // 2^(e+3)-1 nodes ≈ 8/server
+		rate := 12.5 * float64(servers)
+		w := workload.UnifThenZipfShifts(tree.Len(), rng.New(env.Seed+61+uint64(e)), 1.0, rate, dur*0.25, dur, 2)
+		p := cluster.DefaultParams(tree, servers)
+		p.Seed = env.Seed + uint64(e)
+		p.Assignment = cluster.AssignBalanced
+		p.Core.CacheSlots = core.ScaleCacheForServers(servers)
+		p.Core.MapSize = core.ScaleMapSizeForServers(servers)
+		c, err := cluster.New(p)
+		if err != nil {
+			panic(err)
+		}
+		c.Run(w, dur)
+		c.Drain(10)
+		m := c.Metrics
+		lat := m.Latency.Mean() * 1000
+		repl := float64(m.TotalCreations())
+		drops := float64(m.DroppedTotal)
+		log10 := func(v float64) float64 {
+			if v < 1 {
+				return 0
+			}
+			return math.Log10(v)
+		}
+		r.AddRow(e, servers, tree.Len(), lat, m.Hops.Mean(), repl, log10(repl), drops, log10(drops), m.DropFraction())
+	}
+	return r
+}

@@ -1,0 +1,498 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyEnv is the smallest environment that still exhibits the protocol
+// dynamics; used so the whole driver suite runs in test time.
+func tinyEnv() Env { return Env{Scale: 0.02, Seed: 3} }
+
+// midEnv is large enough for hierarchy-dependent shapes (Fig. 7's level
+// profile, Fig. 8's stabilization, the path-propagation ablation): the
+// hierarchical bottleneck only emerges when root-path servers are a small
+// fraction of the population.
+func midEnv() Env { return Env{Scale: 0.1, Seed: 3, MaxDuration: 600} }
+
+func cell(t *testing.T, r *Result, row int, col string) float64 {
+	t.Helper()
+	idx := -1
+	for i, h := range r.Header {
+		if h == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("column %q not in %v", col, r.Header)
+	}
+	v, err := strconv.ParseFloat(r.Rows[row][idx], 64)
+	if err != nil {
+		t.Fatalf("cell %d/%s = %q: %v", row, col, r.Rows[row][idx], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"a1", "a2", "a3", "a4", "e10", "e11", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"}
+	ds := Drivers()
+	if len(ds) != len(want) {
+		t.Fatalf("registered %d drivers, want %d", len(ds), len(want))
+	}
+	for i, d := range ds {
+		if d.ID != want[i] {
+			t.Fatalf("driver %d = %s, want %s", i, d.ID, want[i])
+		}
+		if d.Title == "" || d.Run == nil {
+			t.Fatalf("driver %s incomplete", d.ID)
+		}
+	}
+	if _, ok := Lookup("fig3"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup found a ghost")
+	}
+}
+
+func TestEnvScaling(t *testing.T) {
+	full := DefaultEnv()
+	if full.Servers() != 1000 {
+		t.Fatalf("full servers = %d", full.Servers())
+	}
+	if full.NsTree().Len() != 32767 {
+		t.Fatalf("full Ns = %d nodes", full.NsTree().Len())
+	}
+	if full.Lambda(20000) != 20000 {
+		t.Fatal("full lambda scaled")
+	}
+	if full.Duration(250) != 250 {
+		t.Fatal("full duration scaled")
+	}
+	small := Env{Scale: 0.05, Seed: 1}
+	if small.Servers() != 50 {
+		t.Fatalf("small servers = %d", small.Servers())
+	}
+	if got := small.Lambda(20000); got < 1000 || got > 3.5*1000 {
+		t.Fatalf("small lambda = %v, want within [1000, 3500] (base x utilization compensation)", got)
+	}
+	if d := small.Duration(250); d < 40 || d >= 250 {
+		t.Fatalf("small duration = %v", d)
+	}
+	nodes := small.NsTree().Len()
+	if nodes < 32*50 || nodes > 4*32*50 {
+		t.Fatalf("small Ns = %d nodes", nodes)
+	}
+	// Degenerate scales clamp.
+	bad := Env{Scale: -1}
+	if bad.Servers() != 1000 {
+		t.Fatal("negative scale not clamped to 1")
+	}
+	tiny := Env{Scale: 0.001}
+	if tiny.Servers() != 16 {
+		t.Fatalf("tiny servers = %d, want floor 16", tiny.Servers())
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1(tinyEnv())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][0] != "Owned" || r.Rows[1][0] != "Replicated" {
+		t.Fatalf("row order wrong: %v", r.Rows)
+	}
+	// Replicated has no data column mark.
+	if r.Rows[1][3] != "" {
+		t.Fatal("Replicated should not keep data")
+	}
+}
+
+func TestResultTSV(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", Header: []string{"a", "b"}}
+	r.AddRow(1, 2.5)
+	r.Notef("note %d", 7)
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# x: T") || !strings.Contains(out, "# note 7") {
+		t.Fatalf("comments missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a\tb") || !strings.Contains(out, "1\t2.5") {
+		t.Fatalf("data missing:\n%s", out)
+	}
+}
+
+func TestFig3ShapeSpikesAndRecovery(t *testing.T) {
+	r := Fig3(tinyEnv())
+	if len(r.Rows) < 40 {
+		t.Fatalf("only %d time rows", len(r.Rows))
+	}
+	// Shape: the heavily skewed stream must drop more than unif overall.
+	sum := func(col string) float64 {
+		s := 0.0
+		for i := range r.Rows {
+			s += cell(t, r, i, col)
+		}
+		return s
+	}
+	if sum("uzipf1.50") <= sum("unif") {
+		t.Fatalf("uzipf1.50 drops (%v) not above unif (%v)", sum("uzipf1.50"), sum("unif"))
+	}
+	// Recovery: last-5-second drop rate for uzipf1.50 must be well below its
+	// peak (the system adapts rather than staying saturated).
+	peak, tail := 0.0, 0.0
+	n := len(r.Rows)
+	for i := 0; i < n; i++ {
+		v := cell(t, r, i, "uzipf1.50")
+		if v > peak {
+			peak = v
+		}
+		if i >= n-5 {
+			tail += v / 5
+		}
+	}
+	if peak > 0 && tail > 0.6*peak {
+		t.Fatalf("no recovery: peak %v, tail %v", peak, tail)
+	}
+}
+
+func TestFig5ShapeOrdering(t *testing.T) {
+	r := Fig5(tinyEnv())
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 streams", len(r.Rows))
+	}
+	// The paper's headline: replication (BCR) beats the base system (B)
+	// decisively on skewed streams; overall B should drop far more.
+	var bTot, bcrTot float64
+	for i := range r.Rows {
+		bTot += cell(t, r, i, "B")
+		bcrTot += cell(t, r, i, "BCR")
+	}
+	if bcrTot >= bTot {
+		t.Fatalf("BCR (%v) not better than B (%v)", bcrTot, bTot)
+	}
+	// On the most skewed Ns stream, BCR must beat B by a wide margin.
+	for i := range r.Rows {
+		if r.Rows[i][0] == "uzipfS1.50" {
+			b, bcr := cell(t, r, i, "B"), cell(t, r, i, "BCR")
+			if bcr > 0.7*b {
+				t.Fatalf("uzipfS1.50: BCR %v vs B %v — replication not pulling its weight", bcr, b)
+			}
+		}
+	}
+}
+
+func TestFig6ShapeMaxAboveAvg(t *testing.T) {
+	r := Fig6(tinyEnv())
+	if len(r.Rows) < 40 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	violations := 0
+	for i := range r.Rows {
+		if cell(t, r, i, "max20000") < cell(t, r, i, "avg20000")-1e-9 {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("max below avg in %d rows", violations)
+	}
+	// Higher lambda ⇒ higher mean load.
+	var a4, a20 float64
+	for i := range r.Rows {
+		a4 += cell(t, r, i, "avg4000")
+		a20 += cell(t, r, i, "avg20000")
+	}
+	if a20 <= a4 {
+		t.Fatalf("avg load not increasing with lambda: %v vs %v", a4, a20)
+	}
+	// Smoothed max must be bounded by the raw max's peak.
+	for i := range r.Rows {
+		if cell(t, r, i, "max11_20000") > 1.0+1e-9 {
+			t.Fatal("smoothed max exceeds 1")
+		}
+	}
+}
+
+func TestFig7ShapeTopHeavy(t *testing.T) {
+	r := Fig7(midEnv())
+	// Root (level 0) must be replicated far more than the deepest level,
+	// under uniform traffic (hierarchical bottleneck).
+	root := cell(t, r, 0, "unif8000")
+	leaf := cell(t, r, len(r.Rows)-1, "unif8000")
+	if root <= leaf {
+		t.Fatalf("root replicas (%v) not above leaf replicas (%v)", root, leaf)
+	}
+	if root < 1 {
+		t.Fatalf("root barely replicated: %v", root)
+	}
+	// Higher rate ⇒ at least as much replication pressure at the top.
+	if cell(t, r, 0, "unif2000") > 2*cell(t, r, 0, "unif8000") {
+		t.Fatal("replication not scaling with load")
+	}
+}
+
+func TestFig8ShapeDecay(t *testing.T) {
+	r := Fig8(Env{Scale: 0.05, Seed: 3, MaxDuration: 300})
+	if len(r.Rows) < 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Stabilization: the last-third creation rate must fall below the
+	// first-third rate once input stops changing. At reduced scale the
+	// hierarchical (unif) replication is a paper-scale trickle, so the
+	// robust decay signal is the Zipf stream; unif must merely not grow.
+	third := len(r.Rows) / 3
+	sum := func(col string, from, to int) float64 {
+		s := 0.0
+		for i := from; i < to; i++ {
+			s += cell(t, r, i, col)
+		}
+		return s
+	}
+	zHead := sum("uzipfS1.00", 0, third)
+	zTail := sum("uzipfS1.00", len(r.Rows)-third, len(r.Rows))
+	if zHead == 0 {
+		t.Fatal("no replication at all on uzipfS1.00")
+	}
+	if zTail >= zHead {
+		t.Fatalf("no stabilization on uzipfS1.00: head %v, tail %v", zHead, zTail)
+	}
+	uHead := sum("unifS", 0, third)
+	uTail := sum("unifS", len(r.Rows)-third, len(r.Rows))
+	if uTail > uHead && uTail > 5 {
+		t.Fatalf("unifS creation rate growing: head %v, tail %v", uHead, uTail)
+	}
+}
+
+func TestFig9ShapeScaling(t *testing.T) {
+	r := Fig9(tinyEnv())
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	first, last := 0, len(r.Rows)-1
+	// Replication events grow with system size.
+	if cell(t, r, last, "replications") <= cell(t, r, first, "replications") {
+		t.Fatal("replications do not grow with system size")
+	}
+	// Latency grows slowly (logarithmic-ish): much less than linearly with
+	// the 2^(last-first) size ratio.
+	lat1, latN := cell(t, r, first, "latency_ms"), cell(t, r, last, "latency_ms")
+	ratio := float64(int(1) << uint(last-first))
+	if latN > lat1*ratio/2 {
+		t.Fatalf("latency scaling looks super-logarithmic: %v -> %v over %vx servers", lat1, latN, ratio)
+	}
+}
+
+func TestE10OracleAtLeastAsAccurate(t *testing.T) {
+	r := Exp10DigestAccuracy(midEnv())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		dig := cell(t, r, i, "accuracy_digest")
+		if dig < 0.5 || dig > 1 {
+			t.Fatalf("digest accuracy out of range: %v", dig)
+		}
+		// §4.4: digests approximate optimal behavior — within 25 points at
+		// this reduced scale (the gap closes at paper scale; see EXPERIMENTS.md).
+		gap := cell(t, r, i, "accuracy_gap")
+		if gap > 0.25 {
+			t.Fatalf("digest accuracy %v too far from oracle (gap %v)", dig, gap)
+		}
+	}
+}
+
+func TestE11ControlBounded(t *testing.T) {
+	r := Exp11ControlOverhead(tinyEnv())
+	for i := range r.Rows {
+		ratio := cell(t, r, i, "ratio")
+		if ratio <= 0 {
+			t.Fatal("no control traffic measured")
+		}
+		// At tiny scale the paper's 2-orders bound relaxes; it must still be
+		// a strict minority of traffic.
+		if ratio > 0.5 {
+			t.Fatalf("control ratio %v", ratio)
+		}
+	}
+}
+
+func TestA1PathBeatsEndpoints(t *testing.T) {
+	r := AblationPathCaching(midEnv())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// §2.4 claim: path propagation performs significantly better than
+	// caching the query endpoints. The robust metric is the drop fraction
+	// on the uniform stream (mean hop counts are survivorship-biased: the
+	// endpoint system drops exactly its longest routes).
+	var pathDrop, endDrop float64
+	for i := range r.Rows {
+		if r.Rows[i][0] == "unif" {
+			switch r.Rows[i][1] {
+			case "path":
+				pathDrop = cell(t, r, i, "dropFraction")
+			case "endpoints":
+				endDrop = cell(t, r, i, "dropFraction")
+			}
+		}
+	}
+	if endDrop == 0 {
+		t.Skip("no drops at this scale; nothing to compare")
+	}
+	if pathDrop >= 0.95*endDrop {
+		t.Fatalf("path propagation drops %v vs endpoints %v — no significant win", pathDrop, endDrop)
+	}
+}
+
+func TestA2DigestsHelp(t *testing.T) {
+	r := AblationDigests(tinyEnv())
+	var withHops, withoutHops float64
+	for i := range r.Rows {
+		if r.Rows[i][0] == "unif" {
+			switch r.Rows[i][1] {
+			case "digests":
+				withHops = cell(t, r, i, "meanHops")
+				if cell(t, r, i, "shortcuts") == 0 {
+					t.Fatal("digests on but no shortcuts taken")
+				}
+			case "none":
+				withoutHops = cell(t, r, i, "meanHops")
+				if cell(t, r, i, "shortcuts") != 0 {
+					t.Fatal("digests off but shortcuts taken")
+				}
+			}
+		}
+	}
+	if withHops >= withoutHops {
+		t.Fatalf("digests (%v hops) not better than none (%v hops)", withHops, withoutHops)
+	}
+}
+
+func TestA3FailureResilience(t *testing.T) {
+	r := FailureResilience(Env{Scale: 0.05, Seed: 3})
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		rate := cell(t, r, i, "afterCompletionRate")
+		frac, _ := strconv.ParseFloat(r.Rows[i][0], 64)
+		// Even with 30% of servers gone, the vast majority of queries must
+		// still complete (failed sources/hosts account for roughly the
+		// failed fraction itself).
+		floor := 1 - 2.5*frac
+		if rate < floor {
+			t.Fatalf("row %v: completion rate %v below floor %v", r.Rows[i], rate, floor)
+		}
+	}
+	// With replication on, post-failure completion should be at least as
+	// good as without, at the highest failure fraction.
+	var on, off float64
+	for i := range r.Rows {
+		if r.Rows[i][0] == "0.3" {
+			if r.Rows[i][1] == "on" {
+				on = cell(t, r, i, "afterCompletionRate")
+			} else {
+				off = cell(t, r, i, "afterCompletionRate")
+			}
+		}
+	}
+	if on < off-0.02 {
+		t.Fatalf("replication hurt failure resilience: on=%v off=%v", on, off)
+	}
+}
+
+func TestA4StaticVsAdaptive(t *testing.T) {
+	r := StaticVsAdaptive(midEnv())
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(stream, system, col string) float64 {
+		for i := range r.Rows {
+			if r.Rows[i][0] == stream && r.Rows[i][1] == system {
+				return cell(t, r, i, col)
+			}
+		}
+		t.Fatalf("row %s/%s missing", stream, system)
+		return 0
+	}
+	// Static replication must beat no replication on the uniform
+	// (hierarchical-bottleneck) stream in load balance.
+	if get("unif", "static", "loadGini") >= get("unif", "none", "loadGini") {
+		t.Fatal("static replication did not improve load balance under unif")
+	}
+	// Under shifting hot-spots, adaptive must beat static-only on drops —
+	// static cannot anticipate where demand lands (the paper's argument for
+	// an adaptive scheme).
+	if get("uzipf1.50x4", "adaptive", "dropFraction") >= get("uzipf1.50x4", "static", "dropFraction") {
+		t.Fatal("adaptive replication did not beat static under shifting hot-spots")
+	}
+}
+
+func TestFig4ShapeCreationBursts(t *testing.T) {
+	r := Fig4(tinyEnv())
+	if len(r.Rows) < 40 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Creation bursts: the skewed stream must create replicas (nonzero
+	// total), with an early warmup burst (hierarchical stabilization).
+	sum := func(col string, from, to int) float64 {
+		s := 0.0
+		for i := from; i < to && i < len(r.Rows); i++ {
+			s += cell(t, r, i, col)
+		}
+		return s
+	}
+	total := sum("uzipf1.50", 0, len(r.Rows))
+	if total == 0 {
+		t.Fatal("no replicas created on uzipf1.50")
+	}
+	// The warmup/shift phases dominate: the last tenth of the run should
+	// create far less than the busiest tenth.
+	tenth := len(r.Rows) / 10
+	maxWindow := 0.0
+	for i := 0; i+tenth <= len(r.Rows); i += tenth {
+		if w := sum("uzipf1.50", i, i+tenth); w > maxWindow {
+			maxWindow = w
+		}
+	}
+	tail := sum("uzipf1.50", len(r.Rows)-tenth, len(r.Rows))
+	if tail > 0.8*maxWindow {
+		t.Fatalf("creation rate not bursty: tail %v vs peak window %v", tail, maxWindow)
+	}
+}
+
+func TestE11AdaptiveThighReducesControl(t *testing.T) {
+	r := Exp11ControlOverhead(Env{Scale: 0.1, Seed: 3})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var constant, adaptive float64
+	for i := range r.Rows {
+		if r.Rows[i][0] == "unif.uzipf1.00x4" {
+			switch r.Rows[i][1] {
+			case "constant":
+				constant = cell(t, r, i, "ratio")
+			case "adaptive":
+				adaptive = cell(t, r, i, "ratio")
+			}
+		}
+	}
+	if adaptive >= constant {
+		t.Fatalf("adaptive Thigh did not reduce control traffic: %v vs %v", adaptive, constant)
+	}
+	// Adaptive mode should approach the paper's claim (≥1.5 orders at this
+	// reduced scale; the full-scale run reaches ≥2).
+	for i := range r.Rows {
+		if r.Rows[i][1] == "adaptive" {
+			if o := cell(t, r, i, "ordersOfMagnitude"); o < 1.0 {
+				t.Fatalf("adaptive orders of magnitude = %v", o)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package namespace
+
+import "testing"
+
+// FuzzLookup asserts Lookup never panics on arbitrary name strings and that
+// any resolved node round-trips through Name.
+func FuzzLookup(f *testing.F) {
+	tr, _ := paperTree()
+	f.Add("/university/public/people")
+	f.Add("/university//x")
+	f.Add("")
+	f.Add("/")
+	f.Add("university")
+	f.Add("/university/private/people/students/Mary/")
+	f.Fuzz(func(t *testing.T, name string) {
+		id := tr.Lookup(name)
+		if id == Invalid {
+			return
+		}
+		if id < 0 || int(id) >= tr.Len() {
+			t.Fatalf("Lookup(%q) = %d out of range", name, id)
+		}
+		round := tr.Name(id)
+		if tr.Lookup(round) != id {
+			t.Fatalf("Name/Lookup round trip broken for %q -> %d -> %q", name, id, round)
+		}
+	})
+}
+
+// FuzzNewFromParents asserts the external-tree loader never panics and only
+// accepts structurally valid trees.
+func FuzzNewFromParents(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, 3)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 0 || n > len(raw) || n > 64 {
+			return
+		}
+		parents := make([]int32, n)
+		labels := make([]string, n)
+		for i := 0; i < n; i++ {
+			parents[i] = int32(raw[i]) - 1 // -1..254
+			labels[i] = string(rune('a' + i))
+		}
+		tr, err := NewFromParents(parents, labels)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted tree fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package namespace
+
+// Constant-time LCA support: an Euler tour of the tree plus a sparse-table
+// range-minimum index over tour depths. Built once in Build(); the routing
+// hot path calls Distance for every candidate at every hop, so O(1) LCA is
+// worth the O(N log N) index.
+
+type lcaIndex struct {
+	first []int32 // node -> first occurrence in the Euler tour
+	// table[k][i] = the tour position with minimum depth in [i, i+2^k).
+	// Level 0 stores the tour itself (positions are implicit), so we store
+	// the node at each tour position and its depth separately.
+	tourNode  []NodeID
+	tourDepth []int32
+	table     [][]int32 // positions into the tour
+	logs      []uint8   // floor(log2(i)) lookup
+}
+
+func (t *Tree) buildLCA() {
+	n := t.Len()
+	idx := &lcaIndex{
+		first:     make([]int32, n),
+		tourNode:  make([]NodeID, 0, 2*n-1),
+		tourDepth: make([]int32, 0, 2*n-1),
+	}
+	for i := range idx.first {
+		idx.first[i] = -1
+	}
+	// Iterative Euler tour: push root; on visiting a node append it to the
+	// tour; after finishing a child, append the parent again.
+	type frame struct {
+		node  NodeID
+		child int32 // next child index to descend into
+	}
+	stack := make([]frame, 0, t.MaxDepth()+2)
+	stack = append(stack, frame{node: 0})
+	appendTour := func(v NodeID) {
+		pos := int32(len(idx.tourNode))
+		idx.tourNode = append(idx.tourNode, v)
+		idx.tourDepth = append(idx.tourDepth, t.depth[v])
+		if idx.first[v] < 0 {
+			idx.first[v] = pos
+		}
+	}
+	appendTour(0)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		children := t.Children(f.node)
+		if int(f.child) < len(children) {
+			c := children[f.child]
+			f.child++
+			stack = append(stack, frame{node: c})
+			appendTour(c)
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			appendTour(stack[len(stack)-1].node)
+		}
+	}
+	m := len(idx.tourNode)
+	idx.logs = make([]uint8, m+1)
+	for i := 2; i <= m; i++ {
+		idx.logs[i] = idx.logs[i/2] + 1
+	}
+	levels := int(idx.logs[m]) + 1
+	idx.table = make([][]int32, levels)
+	idx.table[0] = make([]int32, m)
+	for i := 0; i < m; i++ {
+		idx.table[0][i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		span := 1 << uint(k)
+		row := make([]int32, m-span+1)
+		prev := idx.table[k-1]
+		half := span / 2
+		for i := 0; i+span <= m; i++ {
+			a, b := prev[i], prev[i+half]
+			if idx.tourDepth[b] < idx.tourDepth[a] {
+				a = b
+			}
+			row[i] = a
+		}
+		idx.table[k] = row
+	}
+	t.lca = idx
+}
+
+// lcaFast answers LCA in O(1) via the sparse table.
+func (t *Tree) lcaFast(a, b NodeID) NodeID {
+	idx := t.lca
+	l, r := idx.first[a], idx.first[b]
+	if l > r {
+		l, r = r, l
+	}
+	k := idx.logs[r-l+1]
+	i, j := idx.table[k][l], idx.table[k][r-int32(1)<<k+1]
+	if idx.tourDepth[j] < idx.tourDepth[i] {
+		i = j
+	}
+	return idx.tourNode[i]
+}

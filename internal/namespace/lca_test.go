@@ -1,0 +1,116 @@
+package namespace
+
+import (
+	"testing"
+
+	"terradir/internal/rng"
+)
+
+// TestLCAFastMatchesWalk cross-checks the Euler-tour sparse table against
+// the reference pointer-walk implementation on assorted tree shapes.
+func TestLCAFastMatchesWalk(t *testing.T) {
+	trees := map[string]*Tree{
+		"balanced2x10": NewBalanced(2, 10),
+		"balanced5x4":  NewBalanced(5, 4),
+		"chainish":     chainTree(64),
+		"fs":           BuildFileSystem(rng.New(4), FileSystemParams{TargetNodes: 3000, MaxDepth: 9, DirFraction: 0.3, MeanDirFanout: 5}),
+	}
+	src := rng.New(99)
+	for name, tr := range trees {
+		if tr.lca == nil {
+			t.Fatalf("%s: LCA index not built", name)
+		}
+		for i := 0; i < 5000; i++ {
+			a := NodeID(src.Intn(tr.Len()))
+			b := NodeID(src.Intn(tr.Len()))
+			fast := tr.lcaFast(a, b)
+			walk := tr.lcaWalk(a, b)
+			if fast != walk {
+				t.Fatalf("%s: LCA(%d,%d) fast=%d walk=%d", name, a, b, fast, walk)
+			}
+		}
+	}
+}
+
+// chainTree builds a degenerate path tree (worst-case depth).
+func chainTree(n int) *Tree {
+	var b Builder
+	cur := b.AddRoot("")
+	for i := 1; i < n; i++ {
+		cur = b.AddChild(cur, "c")
+	}
+	return b.Build()
+}
+
+func TestLCAChainTree(t *testing.T) {
+	tr := chainTree(100)
+	if tr.MaxDepth() != 99 {
+		t.Fatalf("depth = %d", tr.MaxDepth())
+	}
+	// In a chain, LCA(a,b) is the shallower node.
+	if got := tr.LCA(10, 80); got != 10 {
+		t.Fatalf("chain LCA = %d", got)
+	}
+	if d := tr.Distance(10, 80); d != 70 {
+		t.Fatalf("chain distance = %d", d)
+	}
+}
+
+func TestLCASingleNode(t *testing.T) {
+	var b Builder
+	b.AddRoot("solo")
+	tr := b.Build()
+	if tr.LCA(0, 0) != 0 || tr.Distance(0, 0) != 0 {
+		t.Fatal("singleton LCA/distance wrong")
+	}
+}
+
+func TestLCAIdentityAndAncestor(t *testing.T) {
+	tr := NewBalanced(3, 5)
+	src := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		a := NodeID(src.Intn(tr.Len()))
+		if tr.LCA(a, a) != a {
+			t.Fatalf("LCA(%d,%d) != self", a, a)
+		}
+		if p := tr.Parent(a); p != Invalid {
+			if tr.LCA(a, p) != p {
+				t.Fatalf("LCA(child,parent) != parent for %d", a)
+			}
+		}
+	}
+}
+
+func BenchmarkLCAFast(b *testing.B) {
+	tr := NewBalanced(2, 15)
+	src := rng.New(1)
+	n := tr.Len()
+	pairs := make([][2]NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]NodeID{NodeID(src.Intn(n)), NodeID(src.Intn(n))}
+	}
+	b.ResetTimer()
+	var sink NodeID
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		sink = tr.lcaFast(p[0], p[1])
+	}
+	_ = sink
+}
+
+func BenchmarkLCAWalk(b *testing.B) {
+	tr := NewBalanced(2, 15)
+	src := rng.New(1)
+	n := tr.Len()
+	pairs := make([][2]NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]NodeID{NodeID(src.Intn(n)), NodeID(src.Intn(n))}
+	}
+	b.ResetTimer()
+	var sink NodeID
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		sink = tr.lcaWalk(p[0], p[1])
+	}
+	_ = sink
+}

@@ -1,0 +1,392 @@
+package namespace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"terradir/internal/rng"
+)
+
+// paperTree builds the example namespace from the paper's Fig. 1.
+func paperTree() (*Tree, map[string]NodeID) {
+	var b Builder
+	ids := map[string]NodeID{}
+	ids["/university"] = b.AddRoot("university")
+	ids["/university/public"] = b.AddChild(ids["/university"], "public")
+	ids["/university/private"] = b.AddChild(ids["/university"], "private")
+	ids["/university/public/people"] = b.AddChild(ids["/university/public"], "people")
+	ids["/university/private/people"] = b.AddChild(ids["/university/private"], "people")
+	ids["/university/public/people/faculty"] = b.AddChild(ids["/university/public/people"], "faculty")
+	ids["/university/public/people/students"] = b.AddChild(ids["/university/public/people"], "students")
+	ids["/university/private/people/staff"] = b.AddChild(ids["/university/private/people"], "staff")
+	ids["/university/private/people/students"] = b.AddChild(ids["/university/private/people"], "students")
+	ids["/university/public/people/faculty/John"] = b.AddChild(ids["/university/public/people/faculty"], "John")
+	ids["/university/public/people/students/Steve"] = b.AddChild(ids["/university/public/people/students"], "Steve")
+	ids["/university/private/people/staff/Ann"] = b.AddChild(ids["/university/private/people/staff"], "Ann")
+	ids["/university/private/people/students/Lisa"] = b.AddChild(ids["/university/private/people/students"], "Lisa")
+	ids["/university/private/people/students/Mary"] = b.AddChild(ids["/university/private/people/students"], "Mary")
+	return b.Build(), ids
+}
+
+func TestPaperTreeNames(t *testing.T) {
+	tr, ids := paperTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, id := range ids {
+		if got := tr.Name(id); got != name {
+			t.Errorf("Name(%d) = %q, want %q", id, got, name)
+		}
+		if got := tr.Lookup(name); got != id {
+			t.Errorf("Lookup(%q) = %d, want %d", name, got, id)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	tr, _ := paperTree()
+	for _, name := range []string{
+		"/nosuch", "/university/nosuch", "/university/public/people/faculty/Jane",
+		"university/public", "",
+	} {
+		if got := tr.Lookup(name); got != Invalid && name != "" {
+			t.Errorf("Lookup(%q) = %d, want Invalid", name, got)
+		}
+	}
+}
+
+func TestLookupTrailingSlash(t *testing.T) {
+	tr, ids := paperTree()
+	if got := tr.Lookup("/university/public/"); got != ids["/university/public"] {
+		t.Fatalf("trailing slash lookup = %d", got)
+	}
+}
+
+func TestPaperRouteDistance(t *testing.T) {
+	tr, ids := paperTree()
+	// /university/public/people/faculty/John -> /university/private is
+	// 4 up + 1 down = 5 edges? John is depth 4, private depth 1, LCA is root.
+	a := ids["/university/public/people/faculty/John"]
+	b := ids["/university/private"]
+	if d := tr.Distance(a, b); d != 5 {
+		t.Fatalf("Distance = %d, want 5", d)
+	}
+	if l := tr.LCA(a, b); l != ids["/university"] {
+		t.Fatalf("LCA = %d, want root", l)
+	}
+}
+
+func TestNextHopToward(t *testing.T) {
+	tr, ids := paperTree()
+	from := ids["/university/public/people"]
+	to := ids["/university/private/people/staff/Ann"]
+	// Path goes up: next hop is /university/public.
+	if h := tr.NextHopToward(from, to); h != ids["/university/public"] {
+		t.Fatalf("NextHopToward up = %d, want %d", h, ids["/university/public"])
+	}
+	// Descending case.
+	from2 := ids["/university/private"]
+	if h := tr.NextHopToward(from2, to); h != ids["/university/private/people"] {
+		t.Fatalf("NextHopToward down = %d", h)
+	}
+	if h := tr.NextHopToward(to, to); h != Invalid {
+		t.Fatalf("NextHopToward self = %d, want Invalid", h)
+	}
+}
+
+func TestNextHopMakesIncrementalProgress(t *testing.T) {
+	// Property: following NextHopToward always decreases distance by exactly 1.
+	tr := NewBalanced(2, 8)
+	src := rng.New(42)
+	for i := 0; i < 2000; i++ {
+		a := NodeID(src.Intn(tr.Len()))
+		b := NodeID(src.Intn(tr.Len()))
+		for a != b {
+			h := tr.NextHopToward(a, b)
+			if tr.Distance(h, b) != tr.Distance(a, b)-1 {
+				t.Fatalf("hop %d->%d toward %d did not decrement distance", a, h, b)
+			}
+			a = h
+		}
+	}
+}
+
+func TestBalancedShape(t *testing.T) {
+	tr := NewBalanced(2, 15)
+	if tr.Len() != 32767 {
+		t.Fatalf("Ns size = %d, want 32767", tr.Len())
+	}
+	if tr.MaxDepth() != 14 {
+		t.Fatalf("Ns depth = %d, want 14", tr.MaxDepth())
+	}
+	pop := tr.LevelPopulations()
+	for lvl, n := range pop {
+		if n != 1<<uint(lvl) {
+			t.Fatalf("level %d has %d nodes, want %d", lvl, n, 1<<uint(lvl))
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedArity3(t *testing.T) {
+	tr := NewBalanced(3, 4)
+	if tr.Len() != 1+3+9+27 {
+		t.Fatalf("size = %d, want 40", tr.Len())
+	}
+	if d := tr.Degree(tr.Root()); d != 3 {
+		t.Fatalf("root degree = %d", d)
+	}
+}
+
+func TestBalancedSingleLevel(t *testing.T) {
+	tr := NewBalanced(5, 1)
+	if tr.Len() != 1 || tr.MaxDepth() != 0 {
+		t.Fatalf("singleton tree wrong: len=%d depth=%d", tr.Len(), tr.MaxDepth())
+	}
+}
+
+func TestBalancedBinaryNodes(t *testing.T) {
+	if BalancedBinaryNodes(15) != 32767 {
+		t.Fatal("BalancedBinaryNodes(15) != 32767")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	tr := NewBalanced(2, 10)
+	n := tr.Len()
+	cfg := &quick.Config{MaxCount: 300}
+	// Symmetry and identity.
+	if err := quick.Check(func(x, y uint16) bool {
+		a, b := NodeID(int(x)%n), NodeID(int(y)%n)
+		return tr.Distance(a, b) == tr.Distance(b, a) && tr.Distance(a, a) == 0
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Triangle inequality.
+	if err := quick.Check(func(x, y, z uint16) bool {
+		a, b, c := NodeID(int(x)%n), NodeID(int(y)%n), NodeID(int(z)%n)
+		return tr.Distance(a, c) <= tr.Distance(a, b)+tr.Distance(b, c)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr, ids := paperTree()
+	root := ids["/university"]
+	leaf := ids["/university/private/people/students/Mary"]
+	if !tr.IsAncestor(root, leaf) {
+		t.Fatal("root should be ancestor of leaf")
+	}
+	if tr.IsAncestor(leaf, root) {
+		t.Fatal("leaf is not ancestor of root")
+	}
+	if !tr.IsAncestor(leaf, leaf) {
+		t.Fatal("node should be its own ancestor")
+	}
+	if tr.IsAncestor(ids["/university/public"], ids["/university/private/people"]) {
+		t.Fatal("public is not ancestor of private/people")
+	}
+}
+
+func TestAncestorAtDepth(t *testing.T) {
+	tr, ids := paperTree()
+	leaf := ids["/university/private/people/students/Lisa"]
+	if got := tr.AncestorAtDepth(leaf, 0); got != ids["/university"] {
+		t.Fatalf("depth 0 ancestor = %d", got)
+	}
+	if got := tr.AncestorAtDepth(leaf, 2); got != ids["/university/private/people"] {
+		t.Fatalf("depth 2 ancestor = %d", got)
+	}
+	if got := tr.AncestorAtDepth(leaf, 4); got != leaf {
+		t.Fatalf("depth 4 ancestor = %d, want self", got)
+	}
+	if got := tr.AncestorAtDepth(leaf, 5); got != Invalid {
+		t.Fatalf("too-deep ancestor = %d, want Invalid", got)
+	}
+}
+
+func TestAncestorsList(t *testing.T) {
+	tr, ids := paperTree()
+	leaf := ids["/university/public/people/faculty/John"]
+	anc := tr.Ancestors(nil, leaf)
+	want := []NodeID{
+		ids["/university/public/people/faculty"],
+		ids["/university/public/people"],
+		ids["/university/public"],
+		ids["/university"],
+	}
+	if len(anc) != len(want) {
+		t.Fatalf("got %d ancestors, want %d", len(anc), len(want))
+	}
+	for i := range anc {
+		if anc[i] != want[i] {
+			t.Fatalf("ancestor[%d] = %d, want %d", i, anc[i], want[i])
+		}
+	}
+}
+
+func TestRootName(t *testing.T) {
+	tr := NewBalanced(2, 3)
+	if got := tr.Name(tr.Root()); got != "/" {
+		t.Fatalf("unlabeled root name = %q", got)
+	}
+	if got := tr.Lookup("/"); got != tr.Root() {
+		t.Fatalf("Lookup(/) = %d", got)
+	}
+	tr2, _ := paperTree()
+	if got := tr2.Name(tr2.Root()); got != "/university" {
+		t.Fatalf("labeled root name = %q", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	t.Run("double root", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		var b Builder
+		b.AddRoot("")
+		b.AddRoot("")
+	})
+	t.Run("orphan child", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		var b Builder
+		b.AddRoot("")
+		b.AddChild(99, "x")
+	})
+	t.Run("empty build", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		(&Builder{}).Build()
+	})
+}
+
+func TestFileSystemNamespace(t *testing.T) {
+	src := rng.New(2024)
+	p := DefaultFileSystemParams()
+	p.TargetNodes = 20000
+	tr := BuildFileSystem(src, p)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 19000 || tr.Len() > 21000 {
+		t.Fatalf("size = %d, want ≈20000", tr.Len())
+	}
+	if tr.MaxDepth() >= p.MaxDepth+1 {
+		t.Fatalf("depth %d exceeds cap %d", tr.MaxDepth(), p.MaxDepth)
+	}
+	// File-system shape: fan-out should be skewed — the max-degree directory
+	// should be much larger than the mean.
+	maxDeg, sumDeg, dirs := 0, 0, 0
+	for i := 0; i < tr.Len(); i++ {
+		d := tr.Degree(NodeID(i))
+		if d > 0 {
+			dirs++
+			sumDeg += d
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+	}
+	mean := float64(sumDeg) / float64(dirs)
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("fan-out not skewed: max %d vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestFileSystemDeterminism(t *testing.T) {
+	p := DefaultFileSystemParams()
+	p.TargetNodes = 5000
+	t1 := BuildFileSystem(rng.New(7), p)
+	t2 := BuildFileSystem(rng.New(7), p)
+	if t1.Len() != t2.Len() {
+		t.Fatalf("sizes differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	for i := 0; i < t1.Len(); i++ {
+		if t1.Parent(NodeID(i)) != t2.Parent(NodeID(i)) || t1.Label(NodeID(i)) != t2.Label(NodeID(i)) {
+			t.Fatalf("trees diverge at node %d", i)
+		}
+	}
+}
+
+func TestNewFromParents(t *testing.T) {
+	tr, err := NewFromParents([]int32{-1, 0, 0, 1}, []string{"r", "a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 || tr.Depth(3) != 2 {
+		t.Fatalf("bad tree: len=%d depth3=%d", tr.Len(), tr.Depth(3))
+	}
+	if got := tr.Name(3); got != "/r/a/c" {
+		t.Fatalf("Name(3) = %q", got)
+	}
+}
+
+func TestNewFromParentsErrors(t *testing.T) {
+	cases := []struct {
+		parents []int32
+		labels  []string
+	}{
+		{[]int32{-1, 0}, []string{"r"}},              // length mismatch
+		{[]int32{}, []string{}},                      // empty
+		{[]int32{0}, []string{"r"}},                  // root not -1
+		{[]int32{-1, 5}, []string{"r", "x"}},         // forward reference
+		{[]int32{-1, -1}, []string{"r", "x"}},        // second root
+		{[]int32{-1, 0, 0}, []string{"r", "a", "a"}}, // duplicate sibling labels
+	}
+	for i, c := range cases {
+		if _, err := NewFromParents(c.parents, c.labels); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLevelPopulationsFS(t *testing.T) {
+	src := rng.New(3)
+	p := DefaultFileSystemParams()
+	p.TargetNodes = 3000
+	tr := BuildFileSystem(src, p)
+	pop := tr.LevelPopulations()
+	total := 0
+	for _, n := range pop {
+		total += n
+	}
+	if total != tr.Len() {
+		t.Fatalf("level populations sum %d != %d", total, tr.Len())
+	}
+	if pop[0] != 1 {
+		t.Fatalf("root level population = %d", pop[0])
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	tr := NewBalanced(2, 15)
+	src := rng.New(1)
+	n := tr.Len()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += tr.Distance(NodeID(src.Intn(n)), NodeID(src.Intn(n)))
+	}
+	_ = sink
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr, _ := paperTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup("/university/private/people/students/Mary")
+	}
+}

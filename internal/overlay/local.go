@@ -1,0 +1,147 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"terradir/internal/core"
+	"terradir/internal/namespace"
+)
+
+// LocalTransport delivers messages between nodes of one process by direct
+// inbox injection, optionally after a simulated network delay. Message
+// values follow the core ownership-transfer conventions, so no copying is
+// needed between goroutines.
+type LocalTransport struct {
+	nodes []*Node
+	delay time.Duration
+}
+
+// NewLocalTransport creates a transport over the given (positionally
+// ID-ordered) nodes with an optional per-message delay.
+func NewLocalTransport(delay time.Duration) *LocalTransport {
+	return &LocalTransport{delay: delay}
+}
+
+// Register adds a node; nodes must be registered in server-ID order.
+func (t *LocalTransport) Register(n *Node) { t.nodes = append(t.nodes, n) }
+
+// Send implements Transport.
+func (t *LocalTransport) Send(from, to core.ServerID, m core.Message) error {
+	if int(to) < 0 || int(to) >= len(t.nodes) {
+		return fmt.Errorf("overlay: no such server %d", to)
+	}
+	dst := t.nodes[to]
+	if t.delay <= 0 {
+		dst.Deliver(m)
+		return nil
+	}
+	time.AfterFunc(t.delay, func() { dst.Deliver(m) })
+	return nil
+}
+
+// Close implements Transport.
+func (t *LocalTransport) Close() error { return nil }
+
+// LocalCluster is an in-process live overlay: one goroutine per server over
+// a LocalTransport. It is the quickest way to run the protocol for real
+// (examples, integration tests) without sockets.
+type LocalCluster struct {
+	tree      *namespace.Tree
+	nodes     []*Node
+	owner     []core.ServerID
+	transport *LocalTransport
+}
+
+// LocalClusterOptions configures NewLocalCluster.
+type LocalClusterOptions struct {
+	Servers  int
+	Seed     uint64
+	NetDelay time.Duration
+	Node     Options
+}
+
+// NewLocalCluster builds and starts a local overlay over the namespace.
+func NewLocalCluster(tree *namespace.Tree, opts LocalClusterOptions) (*LocalCluster, error) {
+	if opts.Servers < 1 {
+		return nil, fmt.Errorf("overlay: Servers = %d", opts.Servers)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c := &LocalCluster{
+		tree:      tree,
+		owner:     Assign(tree, opts.Servers, opts.Seed),
+		transport: NewLocalTransport(opts.NetDelay),
+	}
+	ownerOf := func(nd core.NodeID) core.ServerID { return c.owner[nd] }
+	ownedBy := make([][]core.NodeID, opts.Servers)
+	for nd, s := range c.owner {
+		ownedBy[s] = append(ownedBy[s], core.NodeID(nd))
+	}
+	for i := 0; i < opts.Servers; i++ {
+		nodeOpts := opts.Node
+		nodeOpts.Seed = opts.Seed + uint64(i)*7919
+		n, err := NewNode(core.ServerID(i), tree, ownedBy[i], ownerOf, nodeOpts)
+		if err != nil {
+			c.StopAll()
+			return nil, err
+		}
+		n.SetTransport(c.transport)
+		c.nodes = append(c.nodes, n)
+		c.transport.Register(n)
+	}
+	for _, n := range c.nodes {
+		n.Start()
+	}
+	return c, nil
+}
+
+// Tree returns the namespace.
+func (c *LocalCluster) Tree() *namespace.Tree { return c.tree }
+
+// Servers returns the server count.
+func (c *LocalCluster) Servers() int { return len(c.nodes) }
+
+// Node returns server i.
+func (c *LocalCluster) Node(i int) *Node { return c.nodes[i] }
+
+// OwnerOf returns a node's initial owner.
+func (c *LocalCluster) OwnerOf(nd core.NodeID) core.ServerID { return c.owner[nd] }
+
+// Lookup resolves dest starting from the given source server.
+func (c *LocalCluster) Lookup(ctx context.Context, source int, dest core.NodeID) (LookupResult, error) {
+	if source < 0 || source >= len(c.nodes) {
+		return LookupResult{}, fmt.Errorf("overlay: no such server %d", source)
+	}
+	return c.nodes[source].Lookup(ctx, dest)
+}
+
+// LookupName resolves a fully qualified name from the given source server.
+func (c *LocalCluster) LookupName(ctx context.Context, source int, name string) (LookupResult, error) {
+	if source < 0 || source >= len(c.nodes) {
+		return LookupResult{}, fmt.Errorf("overlay: no such server %d", source)
+	}
+	return c.nodes[source].LookupName(ctx, name)
+}
+
+// StopAll shuts every node down.
+func (c *LocalCluster) StopAll() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Stop()
+		}
+	}
+}
+
+// TotalReplicas sums live replicas across all (stopped or idle) nodes.
+// Intended for post-run inspection; while traffic is flowing the value is a
+// moving snapshot.
+func (c *LocalCluster) TotalReplicas() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Peer().ReplicaCount()
+	}
+	return total
+}

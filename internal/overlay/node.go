@@ -1,0 +1,360 @@
+// Package overlay runs the TerraDir protocol as a live concurrent system:
+// one goroutine per peer driving the same core.Peer state machine the
+// simulator uses, over a pluggable Transport (in-process channels for local
+// clusters, length-prefixed gob frames over TCP for real deployments).
+//
+// Each node owns its peer exclusively: every message, timer callback and
+// client lookup is funneled through the node's event loop, so the core
+// (which is not concurrency-safe by design) never sees two frames at once —
+// the same discipline the simulator's event loop provides.
+package overlay
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"terradir/internal/core"
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+	"terradir/internal/sim"
+)
+
+// Options configures a Node.
+type Options struct {
+	// Config is the protocol configuration (core.DefaultConfig if zero).
+	Config core.Config
+	// QueueCap bounds the query inbox; arrivals beyond it are dropped, as in
+	// the paper's server model. Default 64.
+	QueueCap int
+	// ServiceDelay is an artificial per-query processing cost, letting small
+	// demos generate enough load to exercise the replication protocol.
+	// Default 0 (process at full speed).
+	ServiceDelay time.Duration
+	// LoadWindow is the busy-fraction measurement window Ω. Default 500 ms.
+	LoadWindow time.Duration
+	// Seed seeds the node's deterministic RNG stream.
+	Seed uint64
+}
+
+func (o *Options) fill(id core.ServerID) {
+	if o.Config.MapSize == 0 {
+		o.Config = core.DefaultConfig()
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.LoadWindow <= 0 {
+		o.LoadWindow = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(id) + 1
+	}
+}
+
+// LookupResult is the client-facing outcome of a lookup (§2.1: name,
+// metadata, and a mapping of hosting servers).
+type LookupResult struct {
+	OK      bool
+	Reason  core.FailReason
+	Node    core.NodeID
+	Name    string
+	Meta    core.Meta
+	Hosts   []core.ServerID
+	Hops    int
+	Latency time.Duration
+}
+
+// Transport delivers messages between nodes. Implementations must be safe
+// for concurrent use.
+type Transport interface {
+	// Send transmits m from one server to another. Errors are advisory:
+	// the protocol is soft-state and tolerates loss.
+	Send(from, to core.ServerID, m core.Message) error
+	Close() error
+}
+
+type envelope struct {
+	msg core.Message
+	fn  func()
+}
+
+// Node is one live TerraDir server.
+type Node struct {
+	id        core.ServerID
+	tree      *namespace.Tree
+	peer      *core.Peer
+	opts      Options
+	transport Transport
+
+	epoch   time.Time
+	meter   *sim.LoadMeter
+	queries chan *core.QueryMsg
+	control chan envelope
+	stop    chan struct{}
+	done    chan struct{}
+
+	nextQID atomic.Uint64
+	dropped atomic.Int64
+
+	mu          sync.Mutex
+	pending     map[uint64]chan LookupResult
+	pendingData map[uint64]chan *core.DataReply
+}
+
+type nodeEnv struct{ n *Node }
+
+func (e nodeEnv) Now() float64 { return time.Since(e.n.epoch).Seconds() }
+func (e nodeEnv) Load() float64 {
+	return e.n.meter.Load(time.Since(e.n.epoch).Seconds())
+}
+func (e nodeEnv) Send(to core.ServerID, m core.Message) {
+	if to == e.n.id {
+		// Local shortcut: loop back through our own inbox without the
+		// transport (same as the simulator's zero-delay self-delivery).
+		e.n.Deliver(m)
+		return
+	}
+	_ = e.n.transport.Send(e.n.id, to, m) // soft state: losses tolerated
+}
+func (e nodeEnv) After(d float64, fn func()) {
+	n := e.n
+	time.AfterFunc(time.Duration(d*float64(time.Second)), func() {
+		select {
+		case n.control <- envelope{fn: fn}:
+		case <-n.stop:
+		}
+	})
+}
+
+// NewNode constructs a node owning the given namespace nodes. ownerOf must
+// report the initial owner of every node (all processes in a deployment must
+// agree on it; see Assign). Call Start to begin processing and SetTransport
+// beforehand.
+func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerOf func(core.NodeID) core.ServerID, opts Options) (*Node, error) {
+	opts.fill(id)
+	n := &Node{
+		id:          id,
+		tree:        tree,
+		opts:        opts,
+		epoch:       time.Now(),
+		meter:       sim.NewLoadMeter(opts.LoadWindow.Seconds()),
+		queries:     make(chan *core.QueryMsg, opts.QueueCap),
+		control:     make(chan envelope, 1024),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		pending:     make(map[uint64]chan LookupResult),
+		pendingData: make(map[uint64]chan *core.DataReply),
+	}
+	peer, err := core.NewPeer(id, tree, opts.Config, nodeEnv{n}, rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, nd := range owned {
+		peer.AddOwned(nd, core.Meta{})
+	}
+	peer.FinishSetup(ownerOf)
+	n.peer = peer
+	return n, nil
+}
+
+// ID returns the node's server ID.
+func (n *Node) ID() core.ServerID { return n.id }
+
+// Peer exposes the underlying protocol state machine. It must only be
+// inspected while the node is stopped (the loop owns it while running).
+func (n *Node) Peer() *core.Peer { return n.peer }
+
+// Dropped returns the number of queries discarded by the bounded inbox.
+func (n *Node) Dropped() int64 { return n.dropped.Load() }
+
+// SetTransport wires the node's outgoing path. Must be called before Start.
+func (n *Node) SetTransport(t Transport) { n.transport = t }
+
+// Start launches the node's event loop.
+func (n *Node) Start() {
+	if n.transport == nil {
+		panic("overlay: Start before SetTransport")
+	}
+	go n.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	maintain := time.NewTicker(time.Duration(n.opts.Config.MaintainInterval * float64(time.Second)))
+	defer maintain.Stop()
+	for {
+		// Control traffic and timers take priority over queued queries
+		// (they bypass the service queue, as in the simulator).
+		select {
+		case <-n.stop:
+			return
+		case env := <-n.control:
+			n.handleControl(env)
+			continue
+		case <-maintain.C:
+			n.peer.Maintain()
+			continue
+		default:
+		}
+		select {
+		case <-n.stop:
+			return
+		case env := <-n.control:
+			n.handleControl(env)
+		case <-maintain.C:
+			n.peer.Maintain()
+		case q := <-n.queries:
+			n.serveQuery(q)
+		}
+	}
+}
+
+func (n *Node) handleControl(env envelope) {
+	if env.fn != nil {
+		env.fn()
+		return
+	}
+	switch m := env.msg.(type) {
+	case *core.ResultMsg:
+		n.peer.HandleResult(m)
+		n.completeLookup(m)
+		return
+	case *core.DataReply:
+		n.peer.HandleControl(m) // absorb the piggybacked rider
+		n.mu.Lock()
+		ch, ok := n.pendingData[m.ReqID]
+		if ok {
+			delete(n.pendingData, m.ReqID)
+		}
+		n.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+		return
+	}
+	n.peer.HandleControl(env.msg)
+}
+
+func (n *Node) serveQuery(q *core.QueryMsg) {
+	start := time.Since(n.epoch).Seconds()
+	if n.opts.ServiceDelay > 0 {
+		time.Sleep(n.opts.ServiceDelay)
+	}
+	n.peer.HandleQuery(q)
+	n.meter.AddBusy(start, time.Since(n.epoch).Seconds())
+}
+
+// Deliver injects an incoming message (called by transports; safe from any
+// goroutine). Queries beyond the inbox bound are dropped.
+func (n *Node) Deliver(m core.Message) {
+	switch msg := m.(type) {
+	case *core.QueryMsg:
+		select {
+		case n.queries <- msg:
+		default:
+			n.dropped.Add(1)
+		}
+	default:
+		select {
+		case n.control <- envelope{msg: m}:
+		case <-n.stop:
+		}
+	}
+}
+
+func (n *Node) completeLookup(r *core.ResultMsg) {
+	n.mu.Lock()
+	ch, ok := n.pending[r.QueryID]
+	if ok {
+		delete(n.pending, r.QueryID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	res := LookupResult{
+		OK:      r.OK,
+		Reason:  r.Reason,
+		Node:    r.Dest,
+		Name:    n.tree.Name(r.Dest),
+		Meta:    r.Meta,
+		Hops:    r.Hops,
+		Latency: time.Duration((time.Since(n.epoch).Seconds() - r.Started) * float64(time.Second)),
+	}
+	res.Hosts = append(res.Hosts, r.Map.Servers...)
+	ch <- res
+}
+
+// Lookup resolves a node through the overlay, initiating the query at this
+// server, and blocks until the result arrives or ctx expires.
+func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, error) {
+	if dest < 0 || int(dest) >= n.tree.Len() {
+		return LookupResult{}, fmt.Errorf("overlay: no such node %d", dest)
+	}
+	qid := n.nextQID.Add(1)
+	ch := make(chan LookupResult, 1)
+	n.mu.Lock()
+	n.pending[qid] = ch
+	n.mu.Unlock()
+	q := &core.QueryMsg{
+		QueryID:  qid,
+		Dest:     dest,
+		Source:   n.id,
+		OnBehalf: namespace.Invalid,
+		Started:  time.Since(n.epoch).Seconds(),
+	}
+	select {
+	case n.queries <- q:
+	default:
+		n.mu.Lock()
+		delete(n.pending, qid)
+		n.mu.Unlock()
+		n.dropped.Add(1)
+		return LookupResult{}, fmt.Errorf("overlay: server %d queue full", n.id)
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.pending, qid)
+		n.mu.Unlock()
+		return LookupResult{}, ctx.Err()
+	case <-n.stop:
+		return LookupResult{}, fmt.Errorf("overlay: node stopped")
+	}
+}
+
+// LookupName resolves a fully qualified name through the overlay.
+func (n *Node) LookupName(ctx context.Context, name string) (LookupResult, error) {
+	id := n.tree.Lookup(name)
+	if id == namespace.Invalid {
+		return LookupResult{}, fmt.Errorf("overlay: no such name %q", name)
+	}
+	return n.Lookup(ctx, id)
+}
+
+// Assign deterministically maps every namespace node to one of n servers
+// (uniform, seeded): all processes of a deployment compute the same
+// assignment from the same (tree, servers, seed) triple.
+func Assign(tree *namespace.Tree, servers int, seed uint64) []core.ServerID {
+	src := rng.New(seed ^ 0x7e44ad15)
+	owner := make([]core.ServerID, tree.Len())
+	for i := range owner {
+		owner[i] = core.ServerID(src.Intn(servers))
+	}
+	return owner
+}

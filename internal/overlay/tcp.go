@@ -1,0 +1,186 @@
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"terradir/internal/core"
+	"terradir/internal/wire"
+)
+
+// TCPTransport carries protocol messages as length-prefixed wire frames over
+// persistent TCP connections. One listener accepts inbound frames for the
+// local node; outbound connections are dialed lazily per destination and
+// kept open. Send never blocks on remote failures beyond the dial/write —
+// errors drop the message, which the soft-state protocol tolerates.
+type TCPTransport struct {
+	self  core.ServerID
+	addrs map[core.ServerID]string
+	node  *Node
+	ln    net.Listener
+
+	mu      sync.Mutex
+	conns   map[core.ServerID]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCPTransport starts listening on listenAddr and returns a transport
+// that routes by the given server→address map. Attach it to its node with
+// node.SetTransport, then call Serve (usually via StartTCPNode).
+func NewTCPTransport(self core.ServerID, listenAddr string, addrs map[core.ServerID]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: listen %s: %w", listenAddr, err)
+	}
+	return &TCPTransport{
+		self:    self,
+		addrs:   addrs,
+		ln:      ln,
+		conns:   make(map[core.ServerID]*tcpConn),
+		inbound: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Serve begins accepting inbound connections, delivering decoded messages to
+// n. It returns immediately; accepting happens on background goroutines.
+func (t *TCPTransport) Serve(n *Node) {
+	t.node = n
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				conn.Close()
+				return
+			}
+			t.inbound[conn] = struct{}{}
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.readLoop(conn)
+				t.mu.Lock()
+				delete(t.inbound, conn)
+				t.mu.Unlock()
+			}()
+		}
+	}()
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := wire.Decode(frame)
+		if err != nil {
+			continue // corrupt frame: drop, keep the connection
+		}
+		if t.node != nil {
+			t.node.Deliver(msg)
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
+	data, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := wire.WriteFrame(conn.c, data); err != nil {
+		// Connection broke: forget it so the next send redials.
+		t.dropConn(to, conn)
+		return err
+	}
+	return nil
+}
+
+func (t *TCPTransport) conn(to core.ServerID) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("overlay: no address for server %d", to)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: dial server %d (%s): %w", to, addr, err)
+	}
+	c := &tcpConn{c: nc}
+	t.mu.Lock()
+	if prev, ok := t.conns[to]; ok {
+		// Raced with another sender: keep the first connection.
+		t.mu.Unlock()
+		nc.Close()
+		return prev, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *TCPTransport) dropConn(to core.ServerID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.c.Close()
+}
+
+// Close shuts the listener and all connections (outbound and accepted)
+// down, then waits for the reader goroutines to exit.
+func (t *TCPTransport) Close() error {
+	err := t.ln.Close()
+	t.mu.Lock()
+	t.closed = true
+	for id, c := range t.conns {
+		c.c.Close()
+		delete(t.conns, id)
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// StartTCPNode wires a node to a TCP transport and starts both. ownedNodes
+// and ownerOf must be derived from the deployment-wide assignment (Assign)
+// so all processes agree on initial ownership.
+func StartTCPNode(n *Node, transport *TCPTransport) {
+	n.SetTransport(transport)
+	transport.Serve(n)
+	n.Start()
+}

@@ -1,0 +1,136 @@
+// Package plot renders the experiment TSVs as ASCII charts, so the
+// regenerated figures can be eyeballed in a terminal without any plotting
+// stack: multi-series line charts (the time-series figures) and horizontal
+// bar charts (Fig. 5's grouped bars).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Line renders a multi-series ASCII line chart. xs is the shared x axis;
+// series maps legend names to y values (shorter series are right-padded with
+// NaN and skipped). width/height are the plot area in characters.
+func Line(w io.Writer, title string, xs []float64, names []string, series map[string][]float64, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(xs) == 0 || len(names) == 0 {
+		return fmt.Errorf("plot: empty chart")
+	}
+	// Y range over all series.
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, name := range names {
+		for _, v := range series[name] {
+			if math.IsNaN(v) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return fmt.Errorf("plot: no data")
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	xmin, xmax := xs[0], xs[len(xs)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := markers()
+	for si, name := range names {
+		vals := series[name]
+		mark := marks[si%len(marks)]
+		for i, v := range vals {
+			if i >= len(xs) || math.IsNaN(v) {
+				continue
+			}
+			col := int((xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((v-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	ylab := func(v float64) string { return fmt.Sprintf("%10.4g", v) }
+	for i, row := range grid {
+		label := strings.Repeat(" ", 10)
+		switch i {
+		case 0:
+			label = ylab(ymax)
+		case height - 1:
+			label = ylab(ymin)
+		case (height - 1) / 2:
+			label = ylab((ymax + ymin) / 2)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 10), xmin,
+		strings.Repeat(" ", max(0, width-20)), xmax)
+	var leg []string
+	for si, name := range names {
+		leg = append(leg, fmt.Sprintf("%c=%s", marks[si%len(marks)], name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(leg, "  "))
+	return nil
+}
+
+func markers() []byte { return []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'} }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bars renders a horizontal bar chart with one row per label.
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("plot: %d labels for %d values", len(labels), len(values))
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("plot: empty chart")
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("plot: bar values must be non-negative, got %v", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		fmt.Fprintf(w, "%-*s |%s %.4g\n", maxL, labels[i], strings.Repeat("#", n), v)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineRendersAllSeries(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 1, 2, 3, 4}
+	series := map[string][]float64{
+		"up":   {0, 1, 2, 3, 4},
+		"down": {4, 3, 2, 1, 0},
+	}
+	if err := Line(&buf, "T", xs, []string{"up", "down"}, series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T\n") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing")
+	}
+	// Axis labels include min and max.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "0") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestLineHandlesNaNAndShortSeries(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 1, 2}
+	series := map[string][]float64{
+		"a": {1, math.NaN(), 3},
+		"b": {2},
+	}
+	if err := Line(&buf, "T", xs, []string{"a", "b"}, series, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Line(&buf, "T", nil, []string{"a"}, nil, 30, 6); err == nil {
+		t.Fatal("empty x accepted")
+	}
+	if err := Line(&buf, "T", []float64{1}, []string{"a"},
+		map[string][]float64{"a": {math.NaN()}}, 30, 6); err == nil {
+		t.Fatal("all-NaN accepted")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 1}
+	if err := Line(&buf, "T", xs, []string{"c"},
+		map[string][]float64{"c": {5, 5}}, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "B", []string{"aa", "b"}, []float64{2, 4}, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The larger bar has the full width of '#'.
+	if !strings.Contains(lines[2], strings.Repeat("#", 20)) {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("half bar not half width:\n%s", out)
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "B", []string{"a"}, []float64{1, 2}, 20); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := Bars(&buf, "B", nil, nil, 20); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := Bars(&buf, "B", []string{"a"}, []float64{-1}, 20); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if err := Bars(&buf, "B", []string{"a"}, []float64{0}, 20); err != nil {
+		t.Fatal("all-zero should render")
+	}
+}
+
+const sampleTSV = `# fig3: Fraction of queries dropped
+# servers=200 lambda=5519
+t	unif	uzipf1.50
+0	0.1	0.2
+1	0	0.5
+2	0.05	0.1
+`
+
+func TestReadTSV(t *testing.T) {
+	tab, err := ReadTSV(strings.NewReader(sampleTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Title != "fig3: Fraction of queries dropped" {
+		t.Fatalf("title = %q", tab.Title)
+	}
+	if len(tab.Notes) != 1 || !strings.Contains(tab.Notes[0], "servers=200") {
+		t.Fatalf("notes = %v", tab.Notes)
+	}
+	if len(tab.Header) != 3 || len(tab.Cells) != 3 {
+		t.Fatalf("shape: %v %d", tab.Header, len(tab.Cells))
+	}
+	xs, err := tab.NumericColumn("t")
+	if err != nil || len(xs) != 3 || xs[2] != 2 {
+		t.Fatalf("t column: %v %v", xs, err)
+	}
+	if _, err := tab.NumericColumn("nope"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	cols := tab.NumericColumns("t")
+	if len(cols) != 2 || cols[0] != "unif" {
+		t.Fatalf("numeric columns = %v", cols)
+	}
+	labels, err := tab.StringColumn("t")
+	if err != nil || labels[0] != "0" {
+		t.Fatalf("string column: %v %v", labels, err)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	bad := "a\tb\n1\n"
+	if _, err := ReadTSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	mixed := "a\tb\n1\tx\n"
+	tab, err := ReadTSV(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.NumericColumn("b"); err == nil {
+		t.Fatal("non-numeric column parsed")
+	}
+	if cols := tab.NumericColumns(""); len(cols) != 1 || cols[0] != "a" {
+		t.Fatalf("numeric columns = %v", cols)
+	}
+}

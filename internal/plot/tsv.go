@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a parsed experiment TSV: a header, numeric columns where cells
+// parse as numbers, and raw string cells otherwise.
+type Table struct {
+	Title  string
+	Notes  []string
+	Header []string
+	Cells  [][]string // row-major, aligned with Header
+}
+
+// ReadTSV parses the TSV format Result.WriteTSV emits.
+func ReadTSV(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Table{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			note := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if t.Title == "" && t.Header == nil {
+				t.Title = note
+			} else {
+				t.Notes = append(t.Notes, note)
+			}
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		if t.Header == nil {
+			t.Header = cells
+			continue
+		}
+		if len(cells) != len(t.Header) {
+			return nil, fmt.Errorf("plot: row has %d cells, header has %d", len(cells), len(t.Header))
+		}
+		t.Cells = append(t.Cells, cells)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.Header == nil {
+		return nil, fmt.Errorf("plot: no header row")
+	}
+	return t, nil
+}
+
+// ColIndex returns the index of a named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, h := range t.Header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumericColumn extracts a column as float64s; non-numeric cells become NaN
+// via the error return instead: the first unparsable cell fails the call.
+func (t *Table) NumericColumn(name string) ([]float64, error) {
+	idx := t.ColIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("plot: no column %q (have %v)", name, t.Header)
+	}
+	out := make([]float64, len(t.Cells))
+	for i, row := range t.Cells {
+		v, err := strconv.ParseFloat(row[idx], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plot: column %q row %d: %q is not numeric", name, i, row[idx])
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// StringColumn extracts a column as raw strings.
+func (t *Table) StringColumn(name string) ([]string, error) {
+	idx := t.ColIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("plot: no column %q (have %v)", name, t.Header)
+	}
+	out := make([]string, len(t.Cells))
+	for i, row := range t.Cells {
+		out[i] = row[idx]
+	}
+	return out, nil
+}
+
+// NumericColumns returns every column whose cells all parse as numbers,
+// in header order, excluding the named x column.
+func (t *Table) NumericColumns(exclude string) []string {
+	var out []string
+	for _, h := range t.Header {
+		if h == exclude {
+			continue
+		}
+		if _, err := t.NumericColumn(h); err == nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}

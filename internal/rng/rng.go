@@ -1,0 +1,193 @@
+// Package rng provides deterministic, seedable random number generation and
+// the distributions used by the TerraDir simulator: uniform, exponential,
+// Poisson, and Zipf.
+//
+// The simulator must be fully reproducible — the same seed must produce the
+// same event trace on every run and platform — so this package implements its
+// own splitmix64-seeded xoshiro256** generator rather than relying on
+// math/rand's unspecified evolution across Go releases. All generators are
+// cheap value types safe to embed; none are safe for concurrent use (each
+// simulated component owns its own stream).
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random generator (xoshiro256**) seeded via
+// splitmix64. The zero value is not usable; construct with New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from the given seed. Distinct seeds yield
+// independent-looking streams; the seed is expanded with splitmix64 so that
+// small seed deltas (0, 1, 2, ...) still produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the source to the stream identified by seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// A state of all zeros is invalid for xoshiro; splitmix cannot produce
+	// four consecutive zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}
+
+// Split derives a new independent Source from this one. It advances the
+// parent stream. Use it to hand child components their own streams without
+// manual seed bookkeeping.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1); never exactly zero, which
+// makes it safe to pass to math.Log.
+func (r *Source) Float64Open() float64 {
+	for {
+		f := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+		if f > 0 && f < 1 {
+			return f
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits to avoid modulo bias.
+	threshold := (-n) % n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	u := aHi*bLo + t&mask
+	hi = aHi*bHi + t>>32 + u>>32
+	lo = a * b
+	return
+}
+
+// Exp returns an exponentially distributed value with the given mean
+// (mean = 1/rate). It panics if mean <= 0.
+func (r *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp with non-positive mean")
+	}
+	return -mean * math.Log(r.Float64Open())
+}
+
+// Poisson returns a Poisson-distributed count with the given mean. For small
+// means it uses Knuth's product method; for large means a normal
+// approximation with continuity correction (adequate for workload generation).
+func (r *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64Open()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation N(mean, mean).
+	n := r.Norm()*math.Sqrt(mean) + mean + 0.5
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Norm returns a standard normal variate (Box–Muller; one value per call,
+// the pair's second value is discarded for statelessness).
+func (r *Source) Norm() float64 {
+	u1 := r.Float64Open()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm fills p with a uniform random permutation of [0, len(p)).
+func (r *Source) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+}
+
+// ShuffleInts permutes p uniformly at random (Fisher–Yates).
+func (r *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes n elements using the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

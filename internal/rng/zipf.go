@@ -1,0 +1,87 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with P(rank k) ∝ 1/k^alpha, combined with a
+// popularity permutation mapping ranks to item indices. The permutation can
+// be re-randomized at any time (ReRank) to model the paper's "instantaneous
+// and random changes in node popularity" (shifting hot-spots) without
+// touching the rank distribution itself.
+//
+// Sampling uses a precomputed CDF with binary search: O(log N) per sample,
+// exact for any alpha >= 0 (alpha == 0 degenerates to uniform).
+type Zipf struct {
+	alpha float64
+	cdf   []float64 // cdf[i] = P(rank <= i+1), cdf[N-1] == 1
+	perm  []int     // perm[rank-1] = item index
+	src   *Source
+}
+
+// NewZipf constructs a Zipf sampler over n items with exponent alpha, drawing
+// randomness (both samples and re-rank permutations) from src. It panics if
+// n <= 0 or alpha < 0.
+func NewZipf(src *Source, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if alpha < 0 {
+		panic("rng: NewZipf with negative alpha")
+	}
+	z := &Zipf{alpha: alpha, src: src}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), alpha)
+		z.cdf[k-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	z.cdf[n-1] = 1 // defeat rounding
+	z.perm = make([]int, n)
+	src.Perm(z.perm)
+	return z
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return len(z.perm) }
+
+// Alpha returns the skew exponent.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Sample returns an item index in [0, N) drawn Zipf(alpha) over the current
+// popularity ranking.
+func (z *Zipf) Sample() int {
+	u := z.src.Float64()
+	rank := sort.SearchFloat64s(z.cdf, u)
+	if rank >= len(z.perm) {
+		rank = len(z.perm) - 1
+	}
+	return z.perm[rank]
+}
+
+// ReRank instantaneously re-randomizes the popularity permutation, modeling a
+// shifting hot-spot: the same skew, applied to a fresh random ordering of
+// items.
+func (z *Zipf) ReRank() {
+	z.src.Perm(z.perm)
+}
+
+// ItemAtRank returns the item currently holding 1-based popularity rank k.
+func (z *Zipf) ItemAtRank(k int) int {
+	return z.perm[k-1]
+}
+
+// ProbOfRank returns the probability mass of 1-based rank k.
+func (z *Zipf) ProbOfRank(k int) float64 {
+	if k < 1 || k > len(z.cdf) {
+		return 0
+	}
+	if k == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[k-1] - z.cdf[k-2]
+}

@@ -1,0 +1,116 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	src := New(1)
+	z := NewZipf(src, 10, 0)
+	const draws = 100000
+	counts := make([]int, 10)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.06 {
+			t.Fatalf("alpha=0 bucket %d count %d not ≈%d", i, c, draws/10)
+		}
+	}
+}
+
+func TestZipfRankProbabilities(t *testing.T) {
+	src := New(2)
+	z := NewZipf(src, 1000, 1.0)
+	// P(rank 1)/P(rank 2) should be 2 for alpha=1.
+	r := z.ProbOfRank(1) / z.ProbOfRank(2)
+	if math.Abs(r-2) > 1e-9 {
+		t.Fatalf("P(1)/P(2) = %v, want 2", r)
+	}
+	// CDF sums to 1.
+	sum := 0.0
+	for k := 1; k <= 1000; k++ {
+		sum += z.ProbOfRank(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfEmpiricalSkew(t *testing.T) {
+	src := New(3)
+	z := NewZipf(src, 10000, 1.2)
+	const draws = 200000
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample()]++
+	}
+	top := z.ItemAtRank(1)
+	expected := z.ProbOfRank(1) * draws
+	got := float64(counts[top])
+	if math.Abs(got-expected) > 5*math.Sqrt(expected) {
+		t.Fatalf("top item drawn %v times, expected ≈%v", got, expected)
+	}
+}
+
+func TestZipfReRankShiftsHotspot(t *testing.T) {
+	src := New(4)
+	z := NewZipf(src, 50000, 1.5)
+	before := z.ItemAtRank(1)
+	changed := false
+	for i := 0; i < 10; i++ {
+		z.ReRank()
+		if z.ItemAtRank(1) != before {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("ReRank never moved the rank-1 item across 10 re-ranks")
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	src := New(5)
+	z := NewZipf(src, 37, 0.75)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample()
+		if v < 0 || v >= 37 {
+			t.Fatalf("sample %d out of [0,37)", v)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	src := New(6)
+	for _, fn := range []func(){
+		func() { NewZipf(src, 0, 1) },
+		func() { NewZipf(src, 10, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZipfProbOfRankOutOfRange(t *testing.T) {
+	z := NewZipf(New(7), 5, 1)
+	if z.ProbOfRank(0) != 0 || z.ProbOfRank(6) != 0 {
+		t.Fatal("out-of-range ranks should have probability 0")
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(New(1), 70000, 1.0)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= z.Sample()
+	}
+	_ = sink
+}

@@ -1,0 +1,110 @@
+// Package sim is a deterministic discrete-event simulation engine: a virtual
+// clock, an event heap with stable FIFO tie-breaking, and the queueing
+// primitives the TerraDir evaluation model requires — a single-server station
+// with exponentially distributed service times and a bounded request queue
+// that drops on overflow, plus a sliding-window busy-time load meter (the
+// paper's "fraction of server busy time over a window period Ω").
+//
+// Determinism: events at equal timestamps fire in scheduling order, and all
+// randomness is drawn from seeded rng.Source streams, so a run is a pure
+// function of its seed and parameters.
+package sim
+
+import "container/heap"
+
+// Time is simulation time in seconds.
+type Time = float64
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation scheduler. The zero value is a ready engine at
+// time zero.
+type Engine struct {
+	now       Time
+	heap      eventHeap
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.heap, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the heap is empty, the clock
+// would pass `until`, or Stop is called. It returns the number of events
+// executed by this call. Events scheduled exactly at `until` still fire.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.processed
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].t > until {
+			break
+		}
+		ev := heap.Pop(&e.heap).(event)
+		e.now = ev.t
+		e.processed++
+		ev.fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.processed - start
+}
+
+// Step executes exactly one event if any is pending, returning whether one
+// fired.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.t
+	e.processed++
+	ev.fn()
+	return true
+}

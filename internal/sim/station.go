@@ -1,0 +1,119 @@
+package sim
+
+import "terradir/internal/rng"
+
+// Job is an opaque unit of work queued at a Station.
+type Job interface{}
+
+// Station models one server's query-processing pipeline as specified in the
+// paper's methodology: a single exponential server with a bounded FIFO
+// request queue; arrivals that find the queue full are dropped. Service
+// completions invoke the Process callback, at which point the protocol layer
+// makes its routing decision (modeled as part of the service time).
+type Station struct {
+	eng         *Engine
+	src         *rng.Source
+	serviceMean Time // mean service time (seconds)
+	capacity    int  // waiting-room slots (excludes the job in service)
+
+	queue   []Job
+	busy    bool
+	started Time // service start of the in-flight job
+
+	meter *LoadMeter
+
+	// Process is invoked at each service completion with the finished job.
+	Process func(job Job)
+	// OnDrop is invoked when an arrival is discarded due to a full queue.
+	// May be nil.
+	OnDrop func(job Job)
+
+	// Counters.
+	Arrivals    int64
+	Completions int64
+	Drops       int64
+}
+
+// NewStation constructs a station bound to an engine. serviceMean is the
+// mean of the exponential service time; capacity is the queue size (jobs
+// beyond it are dropped); window is the load meter's Ω.
+func NewStation(eng *Engine, src *rng.Source, serviceMean Time, capacity int, window Time) *Station {
+	if serviceMean <= 0 {
+		panic("sim: Station requires positive service mean")
+	}
+	if capacity < 0 {
+		panic("sim: Station requires non-negative capacity")
+	}
+	return &Station{
+		eng:         eng,
+		src:         src,
+		serviceMean: serviceMean,
+		capacity:    capacity,
+		meter:       NewLoadMeter(window),
+	}
+}
+
+// QueueLen returns the number of jobs waiting (excluding any in service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether a job is currently in service.
+func (s *Station) Busy() bool { return s.busy }
+
+// Load returns the station's current busy-fraction load estimate.
+func (s *Station) Load() float64 {
+	l := s.meter.Load(s.eng.Now())
+	if s.busy {
+		// Count the in-flight job's elapsed service as busy time so the
+		// estimate does not lag under saturation.
+		elapsed := s.eng.Now() - s.started
+		if elapsed > 0 {
+			extra := elapsed / s.meter.Window()
+			if l+extra > 1 {
+				return 1
+			}
+			l += extra
+		}
+	}
+	return l
+}
+
+// Arrive submits a job. If the server is idle it enters service immediately;
+// if the waiting room is full it is dropped.
+func (s *Station) Arrive(job Job) {
+	s.Arrivals++
+	if !s.busy {
+		s.startService(job)
+		return
+	}
+	if len(s.queue) >= s.capacity {
+		s.Drops++
+		if s.OnDrop != nil {
+			s.OnDrop(job)
+		}
+		return
+	}
+	s.queue = append(s.queue, job)
+}
+
+func (s *Station) startService(job Job) {
+	s.busy = true
+	s.started = s.eng.Now()
+	d := s.src.Exp(s.serviceMean)
+	s.eng.After(d, func() { s.complete(job) })
+}
+
+func (s *Station) complete(job Job) {
+	now := s.eng.Now()
+	s.meter.AddBusy(s.started, now)
+	s.busy = false
+	s.Completions++
+	if s.Process != nil {
+		s.Process(job)
+	}
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.startService(next)
+	}
+}

@@ -1,0 +1,293 @@
+// Package stats provides the light-weight metric primitives the TerraDir
+// experiments need: streaming mean/variance accumulators (Welford), fixed-bin
+// time series keyed by simulation time, simple histograms with quantile
+// extraction, and the sliding-window maximum smoothing the paper applies in
+// Fig. 6 ("max load averaged over 11 seconds").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a stream of float64 samples and reports count, mean,
+// variance, min and max in O(1) memory. The zero value is ready to use.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 if fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w (parallel-combinable Chan et al. update).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += d * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// Series is a fixed-bin time series: values are accumulated into bins of
+// uniform width starting at time zero. It backs the paper's per-second
+// plots (drops/s, replicas created/s, load over time).
+type Series struct {
+	binWidth float64
+	sums     []float64
+	counts   []int64
+}
+
+// NewSeries creates a series with the given bin width (> 0).
+func NewSeries(binWidth float64) *Series {
+	if binWidth <= 0 {
+		panic("stats: NewSeries requires positive bin width")
+	}
+	return &Series{binWidth: binWidth}
+}
+
+// BinWidth returns the bin width.
+func (s *Series) BinWidth() float64 { return s.binWidth }
+
+func (s *Series) grow(bin int) {
+	for len(s.sums) <= bin {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+}
+
+// Bin returns the bin index for time t.
+func (s *Series) Bin(t float64) int {
+	if t < 0 {
+		return 0
+	}
+	return int(t / s.binWidth)
+}
+
+// Add accumulates value v at time t.
+func (s *Series) Add(t, v float64) {
+	b := s.Bin(t)
+	s.grow(b)
+	s.sums[b] += v
+	s.counts[b]++
+}
+
+// Incr adds 1 at time t (event counting).
+func (s *Series) Incr(t float64) { s.Add(t, 1) }
+
+// Len returns the number of bins touched so far.
+func (s *Series) Len() int { return len(s.sums) }
+
+// Sum returns the accumulated sum in bin i (0 for out-of-range bins).
+func (s *Series) Sum(i int) float64 {
+	if i < 0 || i >= len(s.sums) {
+		return 0
+	}
+	return s.sums[i]
+}
+
+// Count returns the number of samples in bin i.
+func (s *Series) Count(i int) int64 {
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return s.counts[i]
+}
+
+// MeanAt returns the mean of samples in bin i (0 if empty).
+func (s *Series) MeanAt(i int) float64 {
+	if i < 0 || i >= len(s.sums) || s.counts[i] == 0 {
+		return 0
+	}
+	return s.sums[i] / float64(s.counts[i])
+}
+
+// Total returns the sum over all bins.
+func (s *Series) Total() float64 {
+	t := 0.0
+	for _, v := range s.sums {
+		t += v
+	}
+	return t
+}
+
+// Sums returns a copy of all bin sums.
+func (s *Series) Sums() []float64 {
+	out := make([]float64, len(s.sums))
+	copy(out, s.sums)
+	return out
+}
+
+// SlidingMean returns series v smoothed with a centered window of the given
+// odd width (the paper's 11-second smoothing of per-second maxima). Edges
+// use the available partial window. Even widths are rounded up.
+func SlidingMean(v []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(v))
+	for i := range v {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(v) {
+			hi = len(v) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += v[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Histogram is a simple exact histogram retaining all samples; adequate for
+// per-run latency distributions at the scales simulated. Quantiles are
+// computed by sorting on demand.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (h *Histogram) Add(x float64) {
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range h.samples {
+		s += x
+	}
+	return s / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) via nearest-rank on the
+// sorted samples; 0 if empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(q * float64(len(h.samples)-1))
+	return h.samples[idx]
+}
+
+// Counter is a named monotonic event counter.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Incr increments the counter by one.
+func (c *Counter) Incr() { c.Value++ }
+
+// Append adds n to the counter.
+func (c *Counter) Add(n int64) { c.Value += n }
+
+// Gini computes the Gini coefficient of the given values (a standard load
+// imbalance measure: 0 = perfectly balanced, →1 = maximally skewed). Values
+// must be non-negative; the input slice is not modified.
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	v := make([]float64, n)
+	copy(v, values)
+	sort.Float64s(v)
+	var cum, total float64
+	for i, x := range v {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// FormatFloat renders a float with trailing-zero trimming for TSV output.
+func FormatFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.6g", x)
+}

@@ -1,0 +1,289 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"terradir/internal/rng"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	// Unbiased variance of this classic data set is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", w.Var(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Var() != 0 {
+		t.Fatalf("single-sample Var = %v", w.Var())
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Fatal("min/max wrong for single sample")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	src := rng.New(5)
+	if err := quick.Check(func(seed uint32) bool {
+		local := rng.New(uint64(seed))
+		n1 := 1 + local.Intn(50)
+		n2 := 1 + local.Intn(50)
+		var a, b, all Welford
+		for i := 0; i < n1; i++ {
+			x := src.Float64() * 100
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := src.Float64() * 100
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	b.Add(1)
+	b.Add(3)
+	a.Merge(&b) // empty <- nonempty
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Welford
+	a.Merge(&c) // nonempty <- empty
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge of empty changed accumulator")
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(1.0)
+	s.Incr(0.1)
+	s.Incr(0.9)
+	s.Add(1.5, 10)
+	s.Incr(3.0)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Sum(0) != 2 || s.Sum(1) != 10 || s.Sum(2) != 0 || s.Sum(3) != 1 {
+		t.Fatalf("sums = %v %v %v %v", s.Sum(0), s.Sum(1), s.Sum(2), s.Sum(3))
+	}
+	if s.Count(1) != 1 {
+		t.Fatalf("Count(1) = %d", s.Count(1))
+	}
+	if s.Total() != 13 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}
+
+func TestSeriesMeanAt(t *testing.T) {
+	s := NewSeries(0.5)
+	s.Add(0.1, 2)
+	s.Add(0.2, 4)
+	if got := s.MeanAt(0); got != 3 {
+		t.Fatalf("MeanAt(0) = %v", got)
+	}
+	if got := s.MeanAt(5); got != 0 {
+		t.Fatalf("MeanAt(empty bin) = %v", got)
+	}
+	if got := s.MeanAt(-1); got != 0 {
+		t.Fatalf("MeanAt(-1) = %v", got)
+	}
+}
+
+func TestSeriesNegativeTimeClamps(t *testing.T) {
+	s := NewSeries(1)
+	s.Add(-5, 1)
+	if s.Sum(0) != 1 {
+		t.Fatal("negative time should clamp to bin 0")
+	}
+}
+
+func TestSeriesOutOfRangeReads(t *testing.T) {
+	s := NewSeries(1)
+	if s.Sum(3) != 0 || s.Count(3) != 0 || s.Sum(-1) != 0 {
+		t.Fatal("out-of-range reads should be zero")
+	}
+}
+
+func TestSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bin width")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestSeriesSumsCopy(t *testing.T) {
+	s := NewSeries(1)
+	s.Add(0, 5)
+	sums := s.Sums()
+	sums[0] = 99
+	if s.Sum(0) != 5 {
+		t.Fatal("Sums() returned aliased storage")
+	}
+}
+
+func TestSlidingMeanConstant(t *testing.T) {
+	v := []float64{3, 3, 3, 3, 3}
+	out := SlidingMean(v, 3)
+	for i, x := range out {
+		if x != 3 {
+			t.Fatalf("out[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestSlidingMeanWindow(t *testing.T) {
+	v := []float64{0, 0, 10, 0, 0}
+	out := SlidingMean(v, 5)
+	// Center sees the full window: 10/5 = 2.
+	if out[2] != 2 {
+		t.Fatalf("out[2] = %v", out[2])
+	}
+	// Edge uses partial window [0..2]: 10/3.
+	if math.Abs(out[0]-10.0/3) > 1e-12 {
+		t.Fatalf("out[0] = %v", out[0])
+	}
+}
+
+func TestSlidingMeanWidthNormalization(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	// Width 0 -> 1 (identity); width 2 -> 3.
+	out := SlidingMean(v, 0)
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatal("width<1 should be identity")
+		}
+	}
+	out2 := SlidingMean(v, 2)
+	if math.Abs(out2[1]-2) > 1e-12 { // (1+2+3)/3
+		t.Fatalf("even width not rounded up: %v", out2[1])
+	}
+}
+
+func TestSlidingMeanEmpty(t *testing.T) {
+	if out := SlidingMean(nil, 11); len(out) != 0 {
+		t.Fatal("empty input should yield empty output")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %v", q)
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	_ = h.Quantile(0.5)
+	h.Add(1)
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 after re-add = %v", q)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Fatalf("uniform Gini = %v", g)
+	}
+	// All mass on one of n: G = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 10}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("point-mass Gini = %v", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("empty Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("all-zero Gini = %v", g)
+	}
+}
+
+func TestGiniDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Gini(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("Gini mutated its input")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "drops"}
+	c.Incr()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("Value = %d", c.Value)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		-2:      "-2",
+		0:       "0",
+		1.5:     "1.5",
+		0.12345: "0.12345",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

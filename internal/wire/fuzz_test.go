@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"testing"
+
+	"terradir/internal/core"
+)
+
+// FuzzDecode asserts that arbitrary bytes never panic the message decoder —
+// a TCP peer must survive any frame a broken or hostile peer sends.
+func FuzzDecode(f *testing.F) {
+	// Seed with every valid message kind plus junk.
+	seeds := []core.Message{
+		&core.QueryMsg{QueryID: 1, Dest: 2, Source: 3, Piggy: samplePiggy()},
+		&core.ResultMsg{QueryID: 1, OK: true, Map: core.SingleServerMap(2)},
+		&core.LoadProbeMsg{Session: 1, From: 2},
+		&core.LoadProbeReply{Session: 1, From: 2, Load: 0.5},
+		&core.ReplicateRequest{Session: 1, From: 2, Nodes: []core.ReplicaPayload{{Node: 3}}},
+		&core.ReplicateReply{Session: core.ServerSession{ID: 1, From: 2}},
+		&core.DataRequest{ReqID: 1, Node: 2, From: 3},
+		&core.DataReply{ReqID: 1, Node: 2, OK: true, Data: []byte{1}},
+	}
+	for _, m := range seeds {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err == nil && msg == nil {
+			t.Fatal("nil message without error")
+		}
+		// Round-trip property: a successfully decoded message re-encodes.
+		if err == nil {
+			if _, err2 := Encode(msg); err2 != nil {
+				t.Fatalf("decoded message failed to re-encode: %v", err2)
+			}
+		}
+	})
+}

@@ -1,0 +1,329 @@
+// Package wire serializes TerraDir protocol messages for real transports
+// (the TCP overlay). Messages are encoded as a one-byte kind tag followed by
+// a gob-encoded mirror struct; Bloom digests travel in their compact binary
+// form (bloom.Marshal). The mirror types exist because the core message
+// structs embed an interface and a filter with unexported fields, neither of
+// which gob can roundtrip directly.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"terradir/internal/bloom"
+	"terradir/internal/core"
+)
+
+// Message kind tags.
+const (
+	kindQuery byte = iota + 1
+	kindResult
+	kindLoadProbe
+	kindLoadProbeReply
+	kindReplicateReq
+	kindReplicateReply
+	kindDataRequest
+	kindDataReply
+)
+
+// MaxFrame bounds accepted frame sizes (1 MiB) to protect against corrupt or
+// hostile length prefixes.
+const MaxFrame = 1 << 20
+
+type wirePiggy struct {
+	From    int32
+	Load    float64
+	Adverts []core.Advert
+	Digests []wireDigest
+}
+
+type wireDigest struct {
+	Server int32
+	Data   []byte
+}
+
+type wireQuery struct {
+	QueryID  uint64
+	Dest     int32
+	Source   int32
+	OnBehalf int32
+	Hops     int32
+	Started  float64
+	PrevDist int32
+	Path     []core.PathEntry
+	Piggy    wirePiggy
+}
+
+type wireResult struct {
+	QueryID uint64
+	Dest    int32
+	OK      bool
+	Reason  uint8
+	Hops    int32
+	Started float64
+	Meta    core.Meta
+	Map     core.NodeMap
+	Path    []core.PathEntry
+	Piggy   wirePiggy
+}
+
+type wireLoadProbe struct {
+	Session uint64
+	From    int32
+	Piggy   wirePiggy
+}
+
+type wireLoadProbeReply struct {
+	Session uint64
+	From    int32
+	Load    float64
+	Piggy   wirePiggy
+}
+
+type wireReplicateReq struct {
+	Session uint64
+	From    int32
+	Load    float64
+	Nodes   []core.ReplicaPayload
+	Piggy   wirePiggy
+}
+
+type wireDataRequest struct {
+	ReqID uint64
+	Node  int32
+	From  int32
+	Piggy wirePiggy
+}
+
+type wireDataReply struct {
+	ReqID uint64
+	Node  int32
+	OK    bool
+	Data  []byte
+	From  int32
+	Piggy wirePiggy
+}
+
+type wireReplicateReply struct {
+	SessionID uint64
+	From      int32
+	Accepted  []int32
+	Load      float64
+	Piggy     wirePiggy
+}
+
+func packPiggy(p core.Piggyback) wirePiggy {
+	w := wirePiggy{From: int32(p.From), Load: p.Load, Adverts: p.Adverts}
+	for _, d := range p.Digests {
+		if d.Digest == nil {
+			continue
+		}
+		w.Digests = append(w.Digests, wireDigest{Server: int32(d.Server), Data: d.Digest.Marshal()})
+	}
+	return w
+}
+
+func unpackPiggy(w wirePiggy) (core.Piggyback, error) {
+	p := core.Piggyback{From: core.ServerID(w.From), Load: w.Load, Adverts: w.Adverts}
+	for _, d := range w.Digests {
+		f, err := bloom.Unmarshal(d.Data)
+		if err != nil {
+			return p, fmt.Errorf("wire: digest from server %d: %w", d.Server, err)
+		}
+		p.Digests = append(p.Digests, core.DigestUpdate{Server: core.ServerID(d.Server), Digest: f})
+	}
+	return p, nil
+}
+
+// Encode serializes a protocol message.
+func Encode(m core.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	var kind byte
+	var payload interface{}
+	switch v := m.(type) {
+	case *core.QueryMsg:
+		kind = kindQuery
+		payload = wireQuery{
+			QueryID: v.QueryID, Dest: int32(v.Dest), Source: int32(v.Source),
+			OnBehalf: int32(v.OnBehalf), Hops: int32(v.Hops), Started: v.Started,
+			PrevDist: v.PrevDist, Path: v.Path, Piggy: packPiggy(v.Piggy),
+		}
+	case *core.ResultMsg:
+		kind = kindResult
+		payload = wireResult{
+			QueryID: v.QueryID, Dest: int32(v.Dest), OK: v.OK, Reason: uint8(v.Reason),
+			Hops: int32(v.Hops), Started: v.Started, Meta: v.Meta, Map: v.Map,
+			Path: v.Path, Piggy: packPiggy(v.Piggy),
+		}
+	case *core.LoadProbeMsg:
+		kind = kindLoadProbe
+		payload = wireLoadProbe{Session: v.Session, From: int32(v.From), Piggy: packPiggy(v.Piggy)}
+	case *core.LoadProbeReply:
+		kind = kindLoadProbeReply
+		payload = wireLoadProbeReply{Session: v.Session, From: int32(v.From), Load: v.Load, Piggy: packPiggy(v.Piggy)}
+	case *core.ReplicateRequest:
+		kind = kindReplicateReq
+		payload = wireReplicateReq{Session: v.Session, From: int32(v.From), Load: v.Load, Nodes: v.Nodes, Piggy: packPiggy(v.Piggy)}
+	case *core.ReplicateReply:
+		kind = kindReplicateReply
+		w := wireReplicateReply{SessionID: v.Session.ID, From: int32(v.Session.From), Load: v.Load, Piggy: packPiggy(v.Piggy)}
+		for _, n := range v.Accepted {
+			w.Accepted = append(w.Accepted, int32(n))
+		}
+		payload = w
+	case *core.DataRequest:
+		kind = kindDataRequest
+		payload = wireDataRequest{ReqID: v.ReqID, Node: int32(v.Node), From: int32(v.From), Piggy: packPiggy(v.Piggy)}
+	case *core.DataReply:
+		kind = kindDataReply
+		payload = wireDataReply{ReqID: v.ReqID, Node: int32(v.Node), OK: v.OK, Data: v.Data, From: int32(v.From), Piggy: packPiggy(v.Piggy)}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %T", m)
+	}
+	buf.WriteByte(kind)
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", m, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a protocol message produced by Encode.
+func Decode(data []byte) (core.Message, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("wire: short message (%d bytes)", len(data))
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data[1:]))
+	switch data[0] {
+	case kindQuery:
+		var w wireQuery
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode query: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.QueryMsg{
+			QueryID: w.QueryID, Dest: core.NodeID(w.Dest), Source: core.ServerID(w.Source),
+			OnBehalf: core.NodeID(w.OnBehalf), Hops: int(w.Hops), Started: w.Started,
+			PrevDist: w.PrevDist, Path: w.Path, Piggy: pg,
+		}, nil
+	case kindResult:
+		var w wireResult
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode result: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.ResultMsg{
+			QueryID: w.QueryID, Dest: core.NodeID(w.Dest), OK: w.OK,
+			Reason: core.FailReason(w.Reason), Hops: int(w.Hops), Started: w.Started,
+			Meta: w.Meta, Map: w.Map, Path: w.Path, Piggy: pg,
+		}, nil
+	case kindLoadProbe:
+		var w wireLoadProbe
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode probe: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.LoadProbeMsg{Session: w.Session, From: core.ServerID(w.From), Piggy: pg}, nil
+	case kindLoadProbeReply:
+		var w wireLoadProbeReply
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode probe reply: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.LoadProbeReply{Session: w.Session, From: core.ServerID(w.From), Load: w.Load, Piggy: pg}, nil
+	case kindReplicateReq:
+		var w wireReplicateReq
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode replicate request: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.ReplicateRequest{Session: w.Session, From: core.ServerID(w.From), Load: w.Load, Nodes: w.Nodes, Piggy: pg}, nil
+	case kindReplicateReply:
+		var w wireReplicateReply
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode replicate reply: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		rep := &core.ReplicateReply{
+			Session: core.ServerSession{ID: w.SessionID, From: core.ServerID(w.From)},
+			Load:    w.Load, Piggy: pg,
+		}
+		for _, n := range w.Accepted {
+			rep.Accepted = append(rep.Accepted, core.NodeID(n))
+		}
+		return rep, nil
+	case kindDataRequest:
+		var w wireDataRequest
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode data request: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.DataRequest{ReqID: w.ReqID, Node: core.NodeID(w.Node), From: core.ServerID(w.From), Piggy: pg}, nil
+	case kindDataReply:
+		var w wireDataReply
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode data reply: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.DataReply{ReqID: w.ReqID, Node: core.NodeID(w.Node), OK: w.OK, Data: w.Data, From: core.ServerID(w.From), Piggy: pg}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
+	}
+}
+
+// WriteFrame writes a length-prefixed message frame.
+func WriteFrame(w io.Writer, data []byte) error {
+	if len(data) > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// ReadFrame reads a length-prefixed message frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

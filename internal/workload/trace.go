@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"terradir/internal/namespace"
+)
+
+// Trace is an explicit query trace: exact arrival times, destinations and
+// (optionally) source servers. Traces make runs replayable across
+// implementations and parameter changes — the same queries hit the system at
+// the same instants regardless of RNG evolution.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// TraceEvent is one recorded query arrival.
+type TraceEvent struct {
+	T      float64          // arrival time, seconds
+	Dest   namespace.NodeID // destination node
+	Source int32            // source server, or -1 for "driver's choice"
+}
+
+// Validate checks monotonic timestamps and non-negative fields.
+func (tr *Trace) Validate() error {
+	prev := -1.0
+	for i, e := range tr.Events {
+		if e.T < prev {
+			return fmt.Errorf("workload: trace event %d out of order (%v after %v)", i, e.T, prev)
+		}
+		if e.T < 0 || e.Dest < 0 || e.Source < -1 {
+			return fmt.Errorf("workload: trace event %d invalid: %+v", i, e)
+		}
+		prev = e.T
+	}
+	return nil
+}
+
+// Duration returns the time of the last event (0 for an empty trace).
+func (tr *Trace) Duration() float64 {
+	if len(tr.Events) == 0 {
+		return 0
+	}
+	return tr.Events[len(tr.Events)-1].T
+}
+
+// Sort orders events by time (stable), normalizing traces assembled out of
+// order.
+func (tr *Trace) Sort() {
+	sort.SliceStable(tr.Events, func(i, j int) bool { return tr.Events[i].T < tr.Events[j].T })
+}
+
+// WriteTrace serializes a trace as text: one "t dest source" line per event.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# terradir trace v1: t dest source"); err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		if _, err := fmt.Fprintf(bw, "%.6f %d %d\n", e.T, e.Dest, e.Source); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the text format written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	tr := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		var e TraceEvent
+		if _, err := fmt.Sscanf(line, "%f %d %d", &e.T, &e.Dest, &e.Source); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", lineNo, err)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// RecordTrace samples a Workload's arrival process into an explicit Trace:
+// Poisson interarrivals at w.Rate(t), destinations from w.Dest(t), sources
+// left to the driver (-1). The workload and RNG streams are consumed.
+func RecordTrace(w *Workload, src interface{ Exp(float64) float64 }, duration float64) *Trace {
+	tr := &Trace{}
+	t := src.Exp(1 / w.Rate(0))
+	for t < duration {
+		tr.Events = append(tr.Events, TraceEvent{T: t, Dest: w.Dest(t), Source: -1})
+		t += src.Exp(1 / w.Rate(t))
+	}
+	return tr
+}

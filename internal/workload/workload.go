@@ -1,0 +1,187 @@
+// Package workload generates the query streams of the paper's evaluation
+// (§4.1): destinations drawn uniformly at random ("unif" traces) or from a
+// Zipf popularity law over a random node ranking ("uzipf" traces), composed
+// into multi-phase schedules with instantaneous random popularity re-ranking
+// events (shifting hot-spots). Arrival processes are Poisson with a
+// per-phase global rate.
+package workload
+
+import (
+	"fmt"
+
+	"terradir/internal/namespace"
+	"terradir/internal/rng"
+)
+
+// Kind selects a destination distribution.
+type Kind uint8
+
+const (
+	// Uniform draws destinations uniformly over all nodes.
+	Uniform Kind = iota
+	// Zipf draws destinations Zipf(alpha) over a random popularity ranking.
+	Zipf
+)
+
+func (k Kind) String() string {
+	if k == Uniform {
+		return "unif"
+	}
+	return "uzipf"
+}
+
+// Phase is one segment of a schedule: a destination distribution and a
+// global Poisson arrival rate, active for Duration seconds.
+type Phase struct {
+	Duration float64 // seconds; the last phase may be 0 = "until the end"
+	Kind     Kind
+	Alpha    float64 // Zipf exponent (ignored for Uniform)
+	Rate     float64 // global arrivals per second
+}
+
+// Workload is a composed query stream over a namespace of n nodes. It is
+// stateful and time-driven: Dest must be called with non-decreasing times.
+type Workload struct {
+	Name    string
+	n       int
+	phases  []Phase
+	reranks []float64 // absolute times of instantaneous popularity changes
+
+	src      *rng.Source
+	zipfs    map[int64]*rng.Zipf // keyed by alpha in milli-units
+	phaseIdx int
+	phaseT0  float64 // start time of current phase
+	rerankI  int
+}
+
+// New creates a workload over n destination nodes with the given phases.
+// rerankTimes lists absolute times at which Zipf popularity rankings are
+// instantaneously re-randomized (§4.2's shifting hot-spots). It panics on an
+// empty phase list, non-positive rates, or n < 1.
+func New(name string, n int, src *rng.Source, phases []Phase, rerankTimes []float64) *Workload {
+	if n < 1 {
+		panic("workload: n < 1")
+	}
+	if len(phases) == 0 {
+		panic("workload: no phases")
+	}
+	for i, ph := range phases {
+		if ph.Rate <= 0 {
+			panic(fmt.Sprintf("workload: phase %d has non-positive rate", i))
+		}
+		if ph.Duration < 0 {
+			panic(fmt.Sprintf("workload: phase %d has negative duration", i))
+		}
+		if ph.Duration == 0 && i != len(phases)-1 {
+			panic(fmt.Sprintf("workload: phase %d has zero duration but is not last", i))
+		}
+	}
+	for i := 1; i < len(rerankTimes); i++ {
+		if rerankTimes[i] < rerankTimes[i-1] {
+			panic("workload: rerank times not sorted")
+		}
+	}
+	return &Workload{
+		Name:    name,
+		n:       n,
+		phases:  phases,
+		reranks: rerankTimes,
+		src:     src,
+		zipfs:   make(map[int64]*rng.Zipf),
+	}
+}
+
+// N returns the destination domain size.
+func (w *Workload) N() int { return w.n }
+
+// TotalDuration returns the sum of phase durations (0-duration final phase
+// contributes nothing: the caller decides the run length).
+func (w *Workload) TotalDuration() float64 {
+	total := 0.0
+	for _, ph := range w.phases {
+		total += ph.Duration
+	}
+	return total
+}
+
+// advance moves the phase cursor and fires pending re-rank events up to
+// time t. Times must be non-decreasing across calls.
+func (w *Workload) advance(t float64) {
+	for w.phaseIdx < len(w.phases)-1 {
+		d := w.phases[w.phaseIdx].Duration
+		if d == 0 || t < w.phaseT0+d {
+			break
+		}
+		w.phaseT0 += d
+		w.phaseIdx++
+	}
+	for w.rerankI < len(w.reranks) && t >= w.reranks[w.rerankI] {
+		for _, z := range w.zipfs {
+			z.ReRank()
+		}
+		w.rerankI++
+	}
+}
+
+func (w *Workload) zipf(alpha float64) *rng.Zipf {
+	key := int64(alpha * 1000)
+	z, ok := w.zipfs[key]
+	if !ok {
+		z = rng.NewZipf(w.src.Split(), w.n, alpha)
+		w.zipfs[key] = z
+	}
+	return z
+}
+
+// Dest returns the destination node for a query arriving at time t.
+func (w *Workload) Dest(t float64) namespace.NodeID {
+	w.advance(t)
+	ph := &w.phases[w.phaseIdx]
+	if ph.Kind == Uniform {
+		return namespace.NodeID(w.src.Intn(w.n))
+	}
+	return namespace.NodeID(w.zipf(ph.Alpha).Sample())
+}
+
+// Rate returns the global Poisson arrival rate at time t.
+func (w *Workload) Rate(t float64) float64 {
+	w.advance(t)
+	return w.phases[w.phaseIdx].Rate
+}
+
+// Unif builds the paper's "unif" stream: uniform destinations at rate λ for
+// the given duration.
+func Unif(n int, src *rng.Source, rate, duration float64) *Workload {
+	return New("unif", n, src, []Phase{{Duration: duration, Kind: Uniform, Rate: rate}}, nil)
+}
+
+// UZipf builds a single-phase "uzipf<alpha>" stream.
+func UZipf(n int, src *rng.Source, alpha, rate, duration float64) *Workload {
+	name := fmt.Sprintf("uzipf%.2f", alpha)
+	return New(name, n, src, []Phase{{Duration: duration, Kind: Zipf, Alpha: alpha, Rate: rate}}, nil)
+}
+
+// UnifThenZipfShifts builds the paper's composed "unif ∘ uzipf×k" stream
+// (§4.2): a uniform warm-up of warmup seconds (letting the "cold" system
+// replicate hierarchical bottlenecks), followed by a Zipf(alpha) phase with
+// k−1 instantaneous random popularity changes evenly spaced over the
+// remaining total−warmup seconds — i.e., k consecutive Zipf segments with
+// fresh random rankings.
+func UnifThenZipfShifts(n int, src *rng.Source, alpha, rate, warmup, total float64, k int) *Workload {
+	if k < 1 {
+		k = 1
+	}
+	if total <= warmup {
+		panic("workload: total must exceed warmup")
+	}
+	seg := (total - warmup) / float64(k)
+	var reranks []float64
+	for i := 1; i < k; i++ {
+		reranks = append(reranks, warmup+float64(i)*seg)
+	}
+	name := fmt.Sprintf("unif.uzipf%.2fx%d", alpha, k)
+	return New(name, n, src, []Phase{
+		{Duration: warmup, Kind: Uniform, Rate: rate},
+		{Duration: 0, Kind: Zipf, Alpha: alpha, Rate: rate},
+	}, reranks)
+}

@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"terradir/internal/rng"
+)
+
+func TestUnifStream(t *testing.T) {
+	w := Unif(100, rng.New(1), 500, 10)
+	if w.Name != "unif" || w.N() != 100 {
+		t.Fatalf("meta wrong: %q %d", w.Name, w.N())
+	}
+	if w.Rate(0) != 500 || w.Rate(9.9) != 500 {
+		t.Fatal("rate wrong")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		d := int(w.Dest(float64(i) * 0.001))
+		if d < 0 || d >= 100 {
+			t.Fatalf("dest out of range: %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform stream covered only %d of 100 nodes", len(seen))
+	}
+}
+
+func TestUZipfSkew(t *testing.T) {
+	w := UZipf(1000, rng.New(2), 1.5, 500, 10)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[int(w.Dest(0.5))]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// alpha=1.5 over 1000 items: rank-1 mass ≈ 0.38.
+	if maxCount < 5000 {
+		t.Fatalf("top item count %d, want heavy skew", maxCount)
+	}
+}
+
+func TestPhaseTransition(t *testing.T) {
+	src := rng.New(3)
+	w := New("mix", 10000, src, []Phase{
+		{Duration: 5, Kind: Uniform, Rate: 100},
+		{Duration: 0, Kind: Zipf, Alpha: 1.5, Rate: 200},
+	}, nil)
+	if w.Rate(0) != 100 {
+		t.Fatal("phase 1 rate wrong")
+	}
+	if w.Rate(5.1) != 200 {
+		t.Fatal("phase 2 rate wrong")
+	}
+	// Zipf phase should concentrate mass.
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[int(w.Dest(6))]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < 2000 {
+		t.Fatalf("zipf phase not skewed: max %d", maxCount)
+	}
+}
+
+func TestReRankShiftsHotspot(t *testing.T) {
+	src := rng.New(4)
+	w := New("shift", 50000, src, []Phase{
+		{Duration: 0, Kind: Zipf, Alpha: 1.5, Rate: 100},
+	}, []float64{10})
+	hot1 := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		hot1[int(w.Dest(1))]++
+	}
+	hot2 := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		hot2[int(w.Dest(11))]++
+	}
+	top := func(m map[int]int) int {
+		best, bc := -1, 0
+		for k, c := range m {
+			if c > bc {
+				best, bc = k, c
+			}
+		}
+		return best
+	}
+	if top(hot1) == top(hot2) {
+		t.Fatal("hot-spot did not shift at the re-rank time")
+	}
+}
+
+func TestUnifThenZipfShifts(t *testing.T) {
+	src := rng.New(5)
+	w := UnifThenZipfShifts(32767, src, 1.0, 20000, 50, 250, 4)
+	if w.Name != "unif.uzipf1.00x4" {
+		t.Fatalf("name = %q", w.Name)
+	}
+	// 3 shift events evenly spaced over (50, 250].
+	if len(w.reranks) != 3 {
+		t.Fatalf("reranks = %v", w.reranks)
+	}
+	if w.reranks[0] != 100 || w.reranks[1] != 150 || w.reranks[2] != 200 {
+		t.Fatalf("rerank times = %v", w.reranks)
+	}
+	if w.Rate(0) != 20000 {
+		t.Fatal("rate wrong")
+	}
+}
+
+func TestUnifThenZipfShiftsSingleSegment(t *testing.T) {
+	w := UnifThenZipfShifts(100, rng.New(6), 1.0, 10, 5, 20, 1)
+	if len(w.reranks) != 0 {
+		t.Fatal("k=1 should have no rerank events")
+	}
+	// k<1 normalized to 1.
+	w2 := UnifThenZipfShifts(100, rng.New(7), 1.0, 10, 5, 20, 0)
+	if len(w2.reranks) != 0 {
+		t.Fatal("k=0 should normalize to one segment")
+	}
+}
+
+func TestTotalDuration(t *testing.T) {
+	src := rng.New(8)
+	w := New("x", 10, src, []Phase{
+		{Duration: 5, Kind: Uniform, Rate: 1},
+		{Duration: 7, Kind: Uniform, Rate: 1},
+	}, nil)
+	if w.TotalDuration() != 12 {
+		t.Fatalf("TotalDuration = %v", w.TotalDuration())
+	}
+}
+
+func TestWorkloadPanics(t *testing.T) {
+	src := rng.New(9)
+	cases := []func(){
+		func() { New("a", 0, src, []Phase{{Duration: 1, Rate: 1}}, nil) },
+		func() { New("b", 10, src, nil, nil) },
+		func() { New("c", 10, src, []Phase{{Duration: 1, Rate: 0}}, nil) },
+		func() { New("d", 10, src, []Phase{{Duration: -1, Rate: 1}}, nil) },
+		func() {
+			New("e", 10, src, []Phase{{Duration: 0, Rate: 1}, {Duration: 1, Rate: 1}}, nil)
+		},
+		func() { New("f", 10, src, []Phase{{Duration: 1, Rate: 1}}, []float64{5, 2}) },
+		func() { UnifThenZipfShifts(10, src, 1, 1, 10, 5, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Uniform.String() != "unif" || Zipf.String() != "uzipf" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	mk := func() []int {
+		w := UnifThenZipfShifts(1000, rng.New(42), 1.25, 100, 5, 20, 3)
+		var out []int
+		for i := 0; i < 1000; i++ {
+			out = append(out, int(w.Dest(float64(i)*0.02)))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	w := UZipf(500, rng.New(3), 1.0, 200, 5)
+	tr := RecordTrace(w, rng.New(4), 5)
+	if len(tr.Events) < 700 || len(tr.Events) > 1300 {
+		t.Fatalf("recorded %d events, want ≈1000", len(tr.Events))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got.Events), len(tr.Events))
+	}
+	for i := range got.Events {
+		a, b := got.Events[i], tr.Events[i]
+		if a.Dest != b.Dest || a.Source != b.Source || mathAbs(a.T-b.T) > 1e-5 {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestTraceValidate(t *testing.T) {
+	bad := &Trace{Events: []TraceEvent{{T: 2, Dest: 1, Source: -1}, {T: 1, Dest: 1, Source: -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	bad.Sort()
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("sorted trace still invalid: %v", err)
+	}
+	neg := &Trace{Events: []TraceEvent{{T: -1, Dest: 1}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("1.0 bogus -1\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	tr, err := ReadTrace(strings.NewReader("# comment\n\n0.5 3 -1\n"))
+	if err != nil || len(tr.Events) != 1 {
+		t.Fatalf("comment/blank handling: %v %v", tr, err)
+	}
+	if tr.Events[0].Dest != 3 {
+		t.Fatal("dest wrong")
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	if (&Trace{}).Duration() != 0 {
+		t.Fatal("empty trace duration")
+	}
+	tr := &Trace{Events: []TraceEvent{{T: 1}, {T: 4.5}}}
+	if tr.Duration() != 4.5 {
+		t.Fatal("duration wrong")
+	}
+}

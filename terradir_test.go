@@ -1,0 +1,98 @@
+package terradir_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"terradir"
+)
+
+func TestFacadeNamespaces(t *testing.T) {
+	ns := terradir.NewBalancedNamespace(2, 15)
+	if ns.Len() != 32767 {
+		t.Fatalf("Ns = %d nodes", ns.Len())
+	}
+	fs := terradir.NewFileSystemNamespace(1, 5000)
+	if fs.Len() < 4500 || fs.Len() > 5500 {
+		t.Fatalf("fs namespace = %d nodes", fs.Len())
+	}
+	if err := fs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := terradir.ParseNamespace([]int32{-1, 0}, []string{"", "a"})
+	if err != nil || parsed.Len() != 2 {
+		t.Fatalf("ParseNamespace: %v", err)
+	}
+	if _, err := terradir.ParseNamespace([]int32{0}, []string{"x"}); err == nil {
+		t.Fatal("bad parents accepted")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	ns := terradir.NewBalancedNamespace(2, 9)
+	p := terradir.DefaultSimParams(ns, 16)
+	sim, err := terradir.NewSimulation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := terradir.ShiftingHotspotWorkload(ns, 5, 1.2, 300, 2, 10, 2)
+	sim.Run(w, 10)
+	sim.Drain(20)
+	if sim.Metrics.Completed == 0 {
+		t.Fatal("simulation completed nothing")
+	}
+	w2 := terradir.ZipfWorkload(ns, 6, 1.0, 200, 5)
+	sim.Run(w2, 5)
+	sim.Drain(20)
+	if sim.Metrics.Completed < 2000 {
+		t.Fatalf("completed = %d", sim.Metrics.Completed)
+	}
+}
+
+func TestFacadeOverlay(t *testing.T) {
+	ns := terradir.NewBalancedNamespace(2, 8)
+	ov, err := terradir.NewLocalOverlay(ns, terradir.OverlayOptions{Servers: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.StopAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := ov.LookupName(ctx, 0, ns.Name(111))
+	if err != nil || !res.OK {
+		t.Fatalf("overlay lookup: %v %+v", err, res)
+	}
+	if _, err := terradir.NewLocalOverlay(nil, terradir.OverlayOptions{Servers: 2}); err == nil {
+		t.Fatal("nil namespace accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(terradir.Experiments()) != 14 {
+		t.Fatalf("experiments = %d", len(terradir.Experiments()))
+	}
+	r, err := terradir.RunExperiment("table1", terradir.ReducedScale(0.02, 1))
+	if err != nil || len(r.Rows) != 4 {
+		t.Fatalf("table1: %v", err)
+	}
+	if _, err := terradir.RunExperiment("fig99", terradir.PaperScale()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if terradir.PaperScale().Scale != 1 {
+		t.Fatal("PaperScale not full scale")
+	}
+}
+
+func TestFacadeAssignOwners(t *testing.T) {
+	ns := terradir.NewBalancedNamespace(2, 6)
+	owners := terradir.AssignOwners(ns, 4, 9)
+	if len(owners) != ns.Len() {
+		t.Fatal("assignment length wrong")
+	}
+	for _, o := range owners {
+		if o < 0 || o >= 4 {
+			t.Fatalf("owner out of range: %d", o)
+		}
+	}
+}
