@@ -41,6 +41,14 @@ func main() {
 		nsKind   = flag.String("namespace", "balanced:2:10", "namespace spec: 'balanced:<arity>:<levels>' or 'fs:<nodes>'")
 		seed     = flag.Uint64("seed", 1, "deployment seed (must match across peers)")
 		svcDelay = flag.Duration("service-delay", 0, "artificial per-query processing cost")
+
+		queueDepth   = flag.Int("queue-depth", 0, "per-peer outbound queue depth (0 = default)")
+		dialTimeout  = flag.Duration("dial-timeout", 0, "peer dial timeout (0 = default)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-frame write deadline (0 = default)")
+		backoffMax   = flag.Duration("backoff-max", 0, "reconnect backoff cap (0 = default)")
+
+		faultDrop    = flag.Float64("fault-drop", 0, "inject: drop this fraction of outbound messages")
+		faultLatency = flag.Duration("fault-latency", 0, "inject: delay every outbound message by this much")
 	)
 	flag.Parse()
 
@@ -77,11 +85,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	transport, err := overlay.NewTCPTransport(core.ServerID(*id), *listen, addrs)
+	transport, err := overlay.NewTCPTransportOpts(core.ServerID(*id), *listen, addrs,
+		terradir.TCPTransportOptions{
+			QueueDepth:   *queueDepth,
+			DialTimeout:  *dialTimeout,
+			WriteTimeout: *writeTimeout,
+			BackoffMax:   *backoffMax,
+			Seed:         *seed + uint64(*id),
+		})
 	if err != nil {
 		fatal(err)
 	}
-	overlay.StartTCPNode(node, transport)
+	var send overlay.Transport = transport
+	if *faultDrop > 0 || *faultLatency > 0 {
+		send = overlay.NewFaultTransport(transport, terradir.FaultOptions{
+			DropProb: *faultDrop,
+			Latency:  *faultLatency,
+			Seed:     *seed + uint64(*id)*7919,
+		})
+		fmt.Printf("terradird: FAULT INJECTION on: drop=%.2f latency=%s\n", *faultDrop, *faultLatency)
+	}
+	overlay.StartTCPNodeVia(node, transport, send)
 	fmt.Printf("terradird: peer %d/%d up on %s; owns %d of %d nodes\n",
 		*id, *servers, transport.Addr(), len(owned), tree.Len())
 
@@ -104,6 +128,12 @@ func main() {
 	}
 	node.Stop()
 	transport.Close()
+	if st, ok := node.TransportStats(); ok {
+		fmt.Printf("terradird: transport: enqueued=%d sent=%d queueDrops=%d writeErrors=%d "+
+			"dials=%d redials=%d dialErrors=%d corruptFrames=%d connErrors=%d faultDrops=%d\n",
+			st.Enqueued, st.Sent, st.QueueDrops, st.WriteErrors,
+			st.Dials, st.Redials, st.DialErrors, st.CorruptFrames, st.ConnErrors, st.FaultDrops)
+	}
 }
 
 func buildNamespace(spec string, seed uint64) (*terradir.Tree, error) {

@@ -108,6 +108,19 @@ func main() {
 			hosts = append(hosts, core.ServerID(i))
 		}
 	}
+	var tot terradir.TransportStats
+	for i := 0; i < servers; i++ {
+		if st, ok := nodes[i].TransportStats(); ok {
+			tot.Enqueued += st.Enqueued
+			tot.Sent += st.Sent
+			tot.QueueDrops += st.QueueDrops
+			tot.Dials += st.Dials
+			tot.Redials += st.Redials
+		}
+	}
+	fmt.Printf("\ntransport totals: %d frames enqueued, %d sent, %d queue drops, %d dials (%d redials)\n",
+		tot.Enqueued, tot.Sent, tot.QueueDrops, tot.Dials, tot.Redials)
+
 	fmt.Printf("\nlive replication result: %s now has %d soft-state replicas on peers %v\n",
 		ns.Name(hot), replicas, hosts)
 	if replicas == 0 {

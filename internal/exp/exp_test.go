@@ -37,7 +37,7 @@ func cell(t *testing.T, r *Result, row int, col string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"a1", "a2", "a3", "a4", "e10", "e11", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"}
+	want := []string{"a1", "a2", "a3", "a3live", "a4", "e10", "e11", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"}
 	ds := Drivers()
 	if len(ds) != len(want) {
 		t.Fatalf("registered %d drivers, want %d", len(ds), len(want))

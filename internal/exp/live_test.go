@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestA3LiveFailureResilience runs the live-overlay failure driver at reduced
+// scale and holds it to the simulator A3's qualitative shape: high completion
+// at modest failure fractions with replication on, graceful (nonzero)
+// degradation at 30%.
+func TestA3LiveFailureResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster run; skipped in -short")
+	}
+	r := LiveFailureResilience(Env{Scale: 0.016, Seed: 3})
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	get := func(frac, mode string) (rate float64, row []string) {
+		for i := range r.Rows {
+			if r.Rows[i][0] == frac && r.Rows[i][1] == mode {
+				return cell(t, r, i, "afterCompletionRate"), r.Rows[i]
+			}
+		}
+		t.Fatalf("row %s/%s missing from %v", frac, mode, r.Rows)
+		return 0, nil
+	}
+	for i := range r.Rows {
+		before := cell(t, r, i, "completedBefore")
+		if before == 0 {
+			t.Fatalf("row %v: warm phase completed nothing", r.Rows[i])
+		}
+	}
+	// Acceptance: >= 90% completion from survivors at 10% killed peers with
+	// replication on.
+	if rate, row := get("0.1", "on"); rate < 0.9 {
+		t.Fatalf("10%% failures, replication on: completion %v < 0.9 (row %v)", rate, row)
+	}
+	// Graceful degradation, not collapse, at 30%.
+	if rate, row := get("0.3", "on"); rate <= 0.25 {
+		t.Fatalf("30%% failures, replication on: completion %v collapsed (row %v)", rate, row)
+	}
+	if rate, row := get("0.3", "off"); rate <= 0 {
+		t.Fatalf("30%% failures, replication off: completion %v — total collapse (row %v)", rate, row)
+	}
+	// Sanity on the recreated-replicas column: parseable integers.
+	for i := range r.Rows {
+		if _, err := strconv.Atoi(r.Rows[i][5]); err != nil {
+			t.Fatalf("recreatedReplicas cell %q not an integer", r.Rows[i][5])
+		}
+	}
+}

@@ -68,6 +68,18 @@ func (n *Node) fetchData(ctx context.Context, host core.ServerID, dest core.Node
 		cleanup()
 		return nil, err
 	}
+	// The effective timeout is the caller's ctx deadline when one exists and
+	// is sooner; n.opts.DataTimeout otherwise backstops deadline-free
+	// contexts. A stopped timer (unlike time.After) allocates nothing past
+	// this call's lifetime.
+	timeout := n.opts.DataTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain < timeout {
+			timeout = remain
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case rep := <-ch:
 		if !rep.OK {
@@ -77,9 +89,9 @@ func (n *Node) fetchData(ctx context.Context, host core.ServerID, dest core.Node
 	case <-ctx.Done():
 		cleanup()
 		return nil, ctx.Err()
-	case <-time.After(5 * time.Second):
+	case <-timer.C:
 		cleanup()
-		return nil, fmt.Errorf("data request to server %d timed out", host)
+		return nil, fmt.Errorf("data request to server %d timed out after %v", host, timeout)
 	case <-n.stop:
 		cleanup()
 		return nil, fmt.Errorf("node stopped")
@@ -140,18 +152,19 @@ func (n *Node) StoreData(nd core.NodeID, data []byte) bool {
 // collect while the node runs (counters are read without synchronization and
 // may be up to one message stale — monitoring-grade, not transactional).
 type Snapshot struct {
-	ID       core.ServerID
-	Owned    int
-	Replicas int
-	Cache    int
-	Load     float64
-	Dropped  int64
-	Stats    core.Stats
+	ID        core.ServerID
+	Owned     int
+	Replicas  int
+	Cache     int
+	Load      float64
+	Dropped   int64
+	Stats     core.Stats
+	Transport TransportStats
 }
 
 // Snapshot collects monitoring counters from the node.
 func (n *Node) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		ID:       n.id,
 		Owned:    n.peer.OwnedCount(),
 		Replicas: n.peer.ReplicaCount(),
@@ -160,4 +173,6 @@ func (n *Node) Snapshot() Snapshot {
 		Dropped:  n.dropped.Load(),
 		Stats:    n.peer.Stats,
 	}
+	s.Transport, _ = n.TransportStats()
+	return s
 }

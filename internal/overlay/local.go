@@ -52,6 +52,7 @@ type LocalCluster struct {
 	nodes     []*Node
 	owner     []core.ServerID
 	transport *LocalTransport
+	fault     *FaultTransport
 }
 
 // LocalClusterOptions configures NewLocalCluster.
@@ -60,6 +61,9 @@ type LocalClusterOptions struct {
 	Seed     uint64
 	NetDelay time.Duration
 	Node     Options
+	// Fault, when non-nil, wraps the cluster's transport in a FaultTransport
+	// with these options (retrieve it with Fault for runtime fault control).
+	Fault *FaultOptions
 }
 
 // NewLocalCluster builds and starts a local overlay over the namespace.
@@ -75,6 +79,11 @@ func NewLocalCluster(tree *namespace.Tree, opts LocalClusterOptions) (*LocalClus
 		owner:     Assign(tree, opts.Servers, opts.Seed),
 		transport: NewLocalTransport(opts.NetDelay),
 	}
+	var send Transport = c.transport
+	if opts.Fault != nil {
+		c.fault = NewFaultTransport(c.transport, *opts.Fault)
+		send = c.fault
+	}
 	ownerOf := func(nd core.NodeID) core.ServerID { return c.owner[nd] }
 	ownedBy := make([][]core.NodeID, opts.Servers)
 	for nd, s := range c.owner {
@@ -88,7 +97,7 @@ func NewLocalCluster(tree *namespace.Tree, opts LocalClusterOptions) (*LocalClus
 			c.StopAll()
 			return nil, err
 		}
-		n.SetTransport(c.transport)
+		n.SetTransport(send)
 		c.nodes = append(c.nodes, n)
 		c.transport.Register(n)
 	}
@@ -109,6 +118,24 @@ func (c *LocalCluster) Node(i int) *Node { return c.nodes[i] }
 
 // OwnerOf returns a node's initial owner.
 func (c *LocalCluster) OwnerOf(nd core.NodeID) core.ServerID { return c.owner[nd] }
+
+// Fault returns the cluster's fault-injection wrapper, or nil when the
+// cluster was built without LocalClusterOptions.Fault.
+func (c *LocalCluster) Fault() *FaultTransport { return c.fault }
+
+// KillServer fail-stops server i: its event loop halts and (when the cluster
+// has a FaultTransport) all messages to and from it are dropped, mirroring
+// the simulator's FailServer. Soft state on the survivors is untouched and
+// must route around the loss.
+func (c *LocalCluster) KillServer(i int) {
+	if i < 0 || i >= len(c.nodes) {
+		return
+	}
+	if c.fault != nil {
+		c.fault.Crash(core.ServerID(i))
+	}
+	c.nodes[i].Stop()
+}
 
 // Lookup resolves dest starting from the given source server.
 func (c *LocalCluster) Lookup(ctx context.Context, source int, dest core.NodeID) (LookupResult, error) {

@@ -35,6 +35,9 @@ type Options struct {
 	ServiceDelay time.Duration
 	// LoadWindow is the busy-fraction measurement window Ω. Default 500 ms.
 	LoadWindow time.Duration
+	// DataTimeout bounds data-retrieval round trips (Get) when the caller's
+	// context carries no earlier deadline. Default 5 s.
+	DataTimeout time.Duration
 	// Seed seeds the node's deterministic RNG stream.
 	Seed uint64
 }
@@ -48,6 +51,9 @@ func (o *Options) fill(id core.ServerID) {
 	}
 	if o.LoadWindow <= 0 {
 		o.LoadWindow = 500 * time.Millisecond
+	}
+	if o.DataTimeout <= 0 {
+		o.DataTimeout = 5 * time.Second
 	}
 	if o.Seed == 0 {
 		o.Seed = uint64(id) + 1
@@ -74,6 +80,45 @@ type Transport interface {
 	// the protocol is soft-state and tolerates loss.
 	Send(from, to core.ServerID, m core.Message) error
 	Close() error
+}
+
+// TransportStats is a point-in-time snapshot of a transport's counters.
+// Counters are cumulative; QueueDepth is a gauge. Transports that do not
+// implement a given counter leave it zero.
+type TransportStats struct {
+	Enqueued      uint64 // messages accepted into an outbound queue
+	Sent          uint64 // frames written to a socket
+	QueueDrops    uint64 // messages evicted from full outbound queues (drop-oldest)
+	WriteErrors   uint64 // frames lost to write failures or expired deadlines
+	Dials         uint64 // successful connection attempts
+	DialErrors    uint64 // failed connection attempts
+	Redials       uint64 // successful dials after a connection previously existed
+	CorruptFrames uint64 // inbound frames that failed framing or decoding
+	ConnErrors    uint64 // inbound connections terminated by a non-EOF error
+	FaultDrops    uint64 // messages dropped by fault injection (FaultTransport)
+	QueueDepth    int    // messages currently queued outbound (gauge)
+}
+
+// StatsReporter is implemented by transports that export counters
+// (TCPTransport, FaultTransport).
+type StatsReporter interface {
+	Stats() TransportStats
+}
+
+// transportCounters is the internal atomic backing for TransportStats.
+type transportCounters struct {
+	enqueued, sent, queueDrops, writeErrors atomic.Uint64
+	dials, dialErrors, redials              atomic.Uint64
+	corruptFrames, connErrors               atomic.Uint64
+}
+
+// TransportStats reports the node's transport counters, or a zero snapshot
+// (and false) if the transport does not export any.
+func (n *Node) TransportStats() (TransportStats, bool) {
+	if sr, ok := n.transport.(StatsReporter); ok {
+		return sr.Stats(), true
+	}
+	return TransportStats{}, false
 }
 
 type envelope struct {

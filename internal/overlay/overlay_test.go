@@ -487,20 +487,27 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	if res, err := n0.Lookup(ctx, remote); err != nil || !res.OK {
 		t.Fatalf("initial lookup: %v %+v", err, res)
 	}
-	// Kill server 1's transport (connections die), then restart it on the
-	// same address.
+	// Kill peer 1 outright — node stopped, transport (listener and all
+	// connections) closed — then restart it on the same address with fresh
+	// soft state, as a real crashed-and-rebooted peer would.
 	addr1 := tr1.Addr()
+	n1.Stop()
 	tr1.Close()
-	// The next sends fail and clear the cached connection; soft state
-	// tolerates the loss.
+	// Sends during the outage are queued/dropped by the async outbound path;
+	// soft state tolerates the loss.
 	_ = tr0.Send(0, 1, &core.LoadProbeMsg{Session: 1, From: 0})
 	tr1b, err := NewTCPTransport(1, addr1, addrs)
 	if err != nil {
 		t.Fatalf("rebind %s: %v", addr1, err)
 	}
 	defer tr1b.Close()
-	tr1b.Serve(n1)
-	// Traffic must flow again (lazy redial).
+	n1b, err := NewNode(1, tree, ownedBy[1], ownerOf, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	StartTCPNode(n1b, tr1b)
+	defer n1b.Stop()
+	// Traffic must flow again (writer-goroutine redial with backoff).
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		res, err := n0.Lookup(ctx, remote)

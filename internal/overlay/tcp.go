@@ -1,51 +1,119 @@
 package overlay
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"terradir/internal/core"
+	"terradir/internal/rng"
 	"terradir/internal/wire"
 )
 
+// TCPTransportOptions tunes the transport's asynchronous outbound path. The
+// zero value selects the defaults documented per field.
+type TCPTransportOptions struct {
+	// QueueDepth bounds each peer's outbound buffer. A full queue evicts its
+	// oldest message (counted in TransportStats.QueueDrops) so senders never
+	// block and the freshest soft state wins. Default 128.
+	QueueDepth int
+	// DialTimeout bounds every connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline; an expired deadline drops
+	// the frame and redials. Default 2s.
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff after a
+	// failed dial (each failure doubles the delay, plus up to 100% jitter).
+	// Defaults 25ms / 3s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Seed seeds the deterministic backoff-jitter stream (default: from self).
+	Seed uint64
+}
+
+func (o *TCPTransportOptions) fill(self core.ServerID) {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 128
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 3 * time.Second
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = o.BackoffMin
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(self)*0x9e3779b9 + 1
+	}
+}
+
 // TCPTransport carries protocol messages as length-prefixed wire frames over
 // persistent TCP connections. One listener accepts inbound frames for the
-// local node; outbound connections are dialed lazily per destination and
-// kept open. Send never blocks on remote failures beyond the dial/write —
-// errors drop the message, which the soft-state protocol tolerates.
+// local node; outbound traffic runs through one bounded queue plus writer
+// goroutine per destination, which dials with a timeout, writes with a
+// deadline, and redials with capped exponential backoff — so a stalled or
+// dead peer can never block Send, the node's event loop, or other senders.
+// Overflow and broken writes drop messages (counted), which the soft-state
+// protocol tolerates.
 type TCPTransport struct {
 	self  core.ServerID
 	addrs map[core.ServerID]string
+	opts  TCPTransportOptions
 	node  *Node
 	ln    net.Listener
 
+	dialCtx    context.Context
+	cancelDial context.CancelFunc
+
 	mu      sync.Mutex
-	conns   map[core.ServerID]*tcpConn
+	peers   map[core.ServerID]*peerSender
 	inbound map[net.Conn]struct{}
 	closed  bool
+	stop    chan struct{}
 	wg      sync.WaitGroup
-}
 
-type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	ctr transportCounters
 }
 
 // NewTCPTransport starts listening on listenAddr and returns a transport
-// that routes by the given server→address map. Attach it to its node with
-// node.SetTransport, then call Serve (usually via StartTCPNode).
+// that routes by the given server→address map, with default options. Attach
+// it to its node with node.SetTransport, then call Serve (usually via
+// StartTCPNode).
 func NewTCPTransport(self core.ServerID, listenAddr string, addrs map[core.ServerID]string) (*TCPTransport, error) {
+	return NewTCPTransportOpts(self, listenAddr, addrs, TCPTransportOptions{})
+}
+
+// NewTCPTransportOpts is NewTCPTransport with explicit queue/timeout/backoff
+// options.
+func NewTCPTransportOpts(self core.ServerID, listenAddr string, addrs map[core.ServerID]string, opts TCPTransportOptions) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("overlay: listen %s: %w", listenAddr, err)
 	}
+	opts.fill(self)
+	ctx, cancel := context.WithCancel(context.Background())
 	return &TCPTransport{
-		self:    self,
-		addrs:   addrs,
-		ln:      ln,
-		conns:   make(map[core.ServerID]*tcpConn),
-		inbound: make(map[net.Conn]struct{}),
+		self:       self,
+		addrs:      addrs,
+		opts:       opts,
+		ln:         ln,
+		dialCtx:    ctx,
+		cancelDial: cancel,
+		peers:      make(map[core.ServerID]*peerSender),
+		inbound:    make(map[net.Conn]struct{}),
+		stop:       make(chan struct{}),
 	}, nil
 }
 
@@ -89,11 +157,22 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
+			switch {
+			case errors.Is(err, wire.ErrFrameSize):
+				// Corrupt length prefix: the stream cannot be resynced, so
+				// the connection must go, but count it as corruption.
+				t.ctr.corruptFrames.Add(1)
+			case err == io.EOF || errors.Is(err, net.ErrClosed):
+				// Clean shutdown by either side: not an error.
+			default:
+				t.ctr.connErrors.Add(1)
+			}
 			return
 		}
 		msg, err := wire.Decode(frame)
 		if err != nil {
-			continue // corrupt frame: drop, keep the connection
+			t.ctr.corruptFrames.Add(1)
+			continue // framing is intact: drop the message, keep the conn
 		}
 		if t.node != nil {
 			t.node.Deliver(msg)
@@ -101,72 +180,86 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport: it encodes m and enqueues it on the
+// destination's outbound queue, never blocking on the network. Errors are
+// returned only for local problems (unknown destination, unencodable or
+// oversized message, closed transport); network delivery is asynchronous and
+// best-effort.
 func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
 	data, err := wire.Encode(m)
 	if err != nil {
 		return err
 	}
-	conn, err := t.conn(to)
-	if err != nil {
-		return err
+	if len(data) > wire.MaxFrame {
+		return fmt.Errorf("overlay: message for server %d: %w (%d bytes)", to, wire.ErrFrameSize, len(data))
 	}
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if err := wire.WriteFrame(conn.c, data); err != nil {
-		// Connection broke: forget it so the next send redials.
-		t.dropConn(to, conn)
-		return err
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("overlay: transport closed")
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		addr, okAddr := t.addrs[to]
+		if !okAddr {
+			t.mu.Unlock()
+			return fmt.Errorf("overlay: no address for server %d", to)
+		}
+		p = &peerSender{
+			t:       t,
+			addr:    addr,
+			notify:  make(chan struct{}, 1),
+			backoff: t.opts.BackoffMin,
+			jitter:  rng.New(t.opts.Seed ^ uint64(to)*0xd1b54a32d192ed03),
+		}
+		t.peers[to] = p
+		t.wg.Add(1)
+		go p.run()
+	}
+	t.mu.Unlock()
+	t.ctr.enqueued.Add(1)
+	if dropped := p.push(data); dropped > 0 {
+		t.ctr.queueDrops.Add(uint64(dropped))
 	}
 	return nil
 }
 
-func (t *TCPTransport) conn(to core.ServerID) (*tcpConn, error) {
+// Stats returns a snapshot of the transport's counters.
+func (t *TCPTransport) Stats() TransportStats {
+	s := TransportStats{
+		Enqueued:      t.ctr.enqueued.Load(),
+		Sent:          t.ctr.sent.Load(),
+		QueueDrops:    t.ctr.queueDrops.Load(),
+		WriteErrors:   t.ctr.writeErrors.Load(),
+		Dials:         t.ctr.dials.Load(),
+		DialErrors:    t.ctr.dialErrors.Load(),
+		Redials:       t.ctr.redials.Load(),
+		CorruptFrames: t.ctr.corruptFrames.Load(),
+		ConnErrors:    t.ctr.connErrors.Load(),
+	}
 	t.mu.Lock()
-	if c, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return c, nil
+	for _, p := range t.peers {
+		s.QueueDepth += p.depth()
 	}
-	addr, ok := t.addrs[to]
 	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("overlay: no address for server %d", to)
-	}
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("overlay: dial server %d (%s): %w", to, addr, err)
-	}
-	c := &tcpConn{c: nc}
-	t.mu.Lock()
-	if prev, ok := t.conns[to]; ok {
-		// Raced with another sender: keep the first connection.
-		t.mu.Unlock()
-		nc.Close()
-		return prev, nil
-	}
-	t.conns[to] = c
-	t.mu.Unlock()
-	return c, nil
+	return s
 }
 
-func (t *TCPTransport) dropConn(to core.ServerID, c *tcpConn) {
-	t.mu.Lock()
-	if t.conns[to] == c {
-		delete(t.conns, to)
-	}
-	t.mu.Unlock()
-	c.c.Close()
-}
-
-// Close shuts the listener and all connections (outbound and accepted)
-// down, then waits for the reader goroutines to exit.
+// Close shuts the listener, all connections and all writer goroutines down,
+// then waits for them to exit.
 func (t *TCPTransport) Close() error {
 	err := t.ln.Close()
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return err
+	}
 	t.closed = true
-	for id, c := range t.conns {
-		c.c.Close()
-		delete(t.conns, id)
+	close(t.stop)
+	t.cancelDial()
+	for _, p := range t.peers {
+		p.closeConn()
 	}
 	for c := range t.inbound {
 		c.Close()
@@ -176,11 +269,181 @@ func (t *TCPTransport) Close() error {
 	return err
 }
 
-// StartTCPNode wires a node to a TCP transport and starts both. ownedNodes
-// and ownerOf must be derived from the deployment-wide assignment (Assign)
-// so all processes agree on initial ownership.
+// peerSender owns one destination's outbound path: a bounded drop-oldest
+// queue feeding a writer goroutine that maintains the connection.
+type peerSender struct {
+	t    *TCPTransport
+	addr string
+
+	mu     sync.Mutex
+	queue  [][]byte
+	notify chan struct{}
+
+	// cmu guards nc, which Close pokes from outside the writer goroutine.
+	cmu sync.Mutex
+	nc  net.Conn
+
+	// Writer-goroutine-only state.
+	dialed  bool
+	backoff time.Duration
+	jitter  *rng.Source
+}
+
+// push enqueues data, evicting the oldest queued message when full, and
+// returns how many messages were evicted.
+func (p *peerSender) push(data []byte) (dropped int) {
+	p.mu.Lock()
+	if len(p.queue) >= p.t.opts.QueueDepth {
+		n := len(p.queue) - p.t.opts.QueueDepth + 1
+		p.queue = append(p.queue[:0], p.queue[n:]...)
+		dropped = n
+	}
+	p.queue = append(p.queue, data)
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return dropped
+}
+
+func (p *peerSender) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// next blocks until a message is queued or the transport closes.
+func (p *peerSender) next() ([]byte, bool) {
+	for {
+		p.mu.Lock()
+		if len(p.queue) > 0 {
+			data := p.queue[0]
+			p.queue = p.queue[1:]
+			p.mu.Unlock()
+			return data, true
+		}
+		p.mu.Unlock()
+		select {
+		case <-p.notify:
+		case <-p.t.stop:
+			return nil, false
+		}
+	}
+}
+
+func (p *peerSender) run() {
+	defer p.t.wg.Done()
+	for {
+		data, ok := p.next()
+		if !ok {
+			p.closeConn()
+			return
+		}
+		p.deliver(data)
+		select {
+		case <-p.t.stop:
+			p.closeConn()
+			return
+		default:
+		}
+	}
+}
+
+// deliver writes one frame, (re)connecting as needed. Dial failures sleep
+// the capped exponential backoff and retry the same frame (the queue keeps
+// absorbing newer traffic behind it, evicting its oldest on overflow); write
+// failures drop the frame and mark the connection dead so the next frame
+// redials.
+func (p *peerSender) deliver(data []byte) {
+	for {
+		conn := p.conn()
+		if conn == nil {
+			var ok bool
+			conn, ok = p.connect()
+			if !ok {
+				return // transport closing
+			}
+			if conn == nil {
+				continue // dial failed; backoff already slept
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.t.opts.WriteTimeout))
+		if err := wire.WriteFrame(conn, data); err != nil {
+			p.t.ctr.writeErrors.Add(1)
+			p.closeConn()
+			return // frame lost with the connection; soft state tolerates it
+		}
+		p.t.ctr.sent.Add(1)
+		return
+	}
+}
+
+// connect attempts one dial. It returns (nil, true) after a failed attempt
+// (having slept the backoff) and (nil, false) when the transport is closing.
+func (p *peerSender) connect() (net.Conn, bool) {
+	d := net.Dialer{Timeout: p.t.opts.DialTimeout}
+	nc, err := d.DialContext(p.t.dialCtx, "tcp", p.addr)
+	if err != nil {
+		p.t.ctr.dialErrors.Add(1)
+		select {
+		case <-p.t.stop:
+			return nil, false
+		default:
+		}
+		delay := p.backoff + time.Duration(p.jitter.Float64()*float64(p.backoff))
+		p.backoff *= 2
+		if p.backoff > p.t.opts.BackoffMax {
+			p.backoff = p.t.opts.BackoffMax
+		}
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			return nil, true
+		case <-p.t.stop:
+			return nil, false
+		}
+	}
+	p.t.ctr.dials.Add(1)
+	if p.dialed {
+		p.t.ctr.redials.Add(1)
+	}
+	p.dialed = true
+	p.backoff = p.t.opts.BackoffMin
+	p.cmu.Lock()
+	p.nc = nc
+	p.cmu.Unlock()
+	return nc, true
+}
+
+func (p *peerSender) conn() net.Conn {
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
+	return p.nc
+}
+
+func (p *peerSender) closeConn() {
+	p.cmu.Lock()
+	if p.nc != nil {
+		p.nc.Close()
+		p.nc = nil
+	}
+	p.cmu.Unlock()
+}
+
+// StartTCPNode wires a node to a TCP transport and starts both. The node's
+// owned set and ownerOf function must be derived from the deployment-wide
+// assignment (Assign) so all processes agree on initial ownership.
 func StartTCPNode(n *Node, transport *TCPTransport) {
-	n.SetTransport(transport)
+	StartTCPNodeVia(n, transport, transport)
+}
+
+// StartTCPNodeVia is StartTCPNode with the outbound path routed through send
+// — typically a FaultTransport wrapping transport — while inbound frames are
+// still served by transport itself.
+func StartTCPNodeVia(n *Node, transport *TCPTransport, send Transport) {
+	n.SetTransport(send)
 	transport.Serve(n)
 	n.Start()
 }

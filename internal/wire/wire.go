@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -32,6 +33,12 @@ const (
 // MaxFrame bounds accepted frame sizes (1 MiB) to protect against corrupt or
 // hostile length prefixes.
 const MaxFrame = 1 << 20
+
+// ErrFrameSize reports a frame length outside (0, MaxFrame]: an oversized
+// outgoing message, or a corrupt/hostile incoming length prefix. Detect it
+// with errors.Is; transports use it to classify read failures as corruption
+// rather than connection errors.
+var ErrFrameSize = errors.New("wire: frame size out of range")
 
 type wirePiggy struct {
 	From    int32
@@ -300,7 +307,7 @@ func Decode(data []byte) (core.Message, error) {
 // WriteFrame writes a length-prefixed message frame.
 func WriteFrame(w io.Writer, data []byte) error {
 	if len(data) > MaxFrame {
-		return fmt.Errorf("wire: frame too large (%d bytes)", len(data))
+		return fmt.Errorf("%w: frame too large (%d bytes)", ErrFrameSize, len(data))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
@@ -319,7 +326,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > MaxFrame {
-		return nil, fmt.Errorf("wire: invalid frame length %d", n)
+		return nil, fmt.Errorf("%w: invalid frame length %d", ErrFrameSize, n)
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"terradir/internal/core"
+)
+
+// TestReadFrameAdversarial feeds ReadFrame hostile and truncated inputs and
+// asserts both that each is rejected and that it is rejected with the right
+// error class — transports route ErrFrameSize to the corrupt-frame counter
+// and I/O errors to the connection-error counter.
+func TestReadFrameAdversarial(t *testing.T) {
+	cases := []struct {
+		name      string
+		input     []byte
+		frameSize bool // want errors.Is(err, ErrFrameSize)
+	}{
+		{"empty stream", nil, false},
+		{"truncated length prefix (1 byte)", []byte{0x00}, false},
+		{"truncated length prefix (3 bytes)", []byte{0x00, 0x00, 0x01}, false},
+		{"zero-length frame", []byte{0, 0, 0, 0}, true},
+		{"length one past MaxFrame", lenPrefix(MaxFrame + 1), true},
+		{"maximum uint32 length", []byte{0xff, 0xff, 0xff, 0xff}, true},
+		{"truncated body (header says 10, 2 present)", append(lenPrefix(10), 1, 2), false},
+		{"truncated body (one byte short)", append(lenPrefix(4), 1, 2, 3), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("adversarial frame accepted")
+			}
+			if got := errors.Is(err, ErrFrameSize); got != tc.frameSize {
+				t.Fatalf("errors.Is(err, ErrFrameSize) = %v, want %v (err: %v)", got, tc.frameSize, err)
+			}
+			if !tc.frameSize {
+				// Truncations must surface as I/O errors, so transports can
+				// distinguish a dead connection from hostile framing.
+				if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("truncation produced unexpected error class: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func lenPrefix(n uint32) []byte {
+	return []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+func TestWriteFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, make([]byte, MaxFrame+1))
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("oversized write error is not ErrFrameSize: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes onto the stream", buf.Len())
+	}
+	// Exactly MaxFrame is legal.
+	if err := WriteFrame(&buf, make([]byte, MaxFrame)); err != nil {
+		t.Fatalf("MaxFrame-sized frame rejected: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != MaxFrame {
+		t.Fatalf("MaxFrame roundtrip: %d bytes, %v", len(got), err)
+	}
+}
+
+// TestDecodeCorruptPayloadKinds runs every message kind's decoder against a
+// garbage gob payload: all must error, none may panic.
+func TestDecodeCorruptPayloadKinds(t *testing.T) {
+	for kind := byte(1); kind <= 8; kind++ {
+		payload := append([]byte{kind}, 0xde, 0xad, 0xbe, 0xef, 0x01)
+		if _, err := Decode(payload); err == nil {
+			t.Fatalf("kind %d: corrupt gob accepted", kind)
+		}
+	}
+}
+
+// TestFrameThenGarbageStream verifies a reader recovers a valid leading
+// frame and then cleanly rejects trailing garbage.
+func TestFrameThenGarbageStream(t *testing.T) {
+	var buf bytes.Buffer
+	data, err := Encode(&core.LoadProbeMsg{Session: 5, From: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	frame, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := Decode(frame); err != nil {
+		t.Fatal(err)
+	} else if m.(*core.LoadProbeMsg).Session != 5 {
+		t.Fatal("leading frame corrupted")
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("trailing garbage not rejected as ErrFrameSize: %v", err)
+	}
+}

@@ -142,8 +142,21 @@ type (
 	NodeOptions = overlay.Options
 	// LookupResult is a client-facing lookup outcome.
 	LookupResult = overlay.LookupResult
-	// TCPTransport carries protocol messages between processes.
+	// TCPTransport carries protocol messages between processes over
+	// per-peer asynchronous outbound queues with reconnect/backoff.
 	TCPTransport = overlay.TCPTransport
+	// TCPTransportOptions tunes the TCP transport (per-peer queue depth,
+	// dial/write timeouts, reconnect backoff); zero values mean defaults.
+	TCPTransportOptions = overlay.TCPTransportOptions
+	// TransportStats is a monitoring snapshot of transport counters
+	// (sends, drops, redials, corrupt frames, ...).
+	TransportStats = overlay.TransportStats
+	// FaultTransport wraps any transport with deterministic fault
+	// injection: crashed peers, asymmetric partitions, probabilistic drops
+	// and added latency.
+	FaultTransport = overlay.FaultTransport
+	// FaultOptions configures a FaultTransport.
+	FaultOptions = overlay.FaultOptions
 )
 
 // OverlayOptions configures NewLocalOverlay.
@@ -154,6 +167,10 @@ type OverlayOptions struct {
 	Seed uint64
 	// Node tunes each peer (protocol config, queue bound, service delay).
 	Node NodeOptions
+	// Fault, when non-nil, wraps the overlay's transport in a
+	// FaultTransport with these options; retrieve it with Overlay.Fault to
+	// crash peers or partition the deployment at runtime.
+	Fault *FaultOptions
 }
 
 // NewLocalOverlay builds and starts a live in-process overlay over the
@@ -166,6 +183,7 @@ func NewLocalOverlay(tree *Tree, opts OverlayOptions) (*Overlay, error) {
 		Servers: opts.Servers,
 		Seed:    opts.Seed,
 		Node:    opts.Node,
+		Fault:   opts.Fault,
 	})
 }
 

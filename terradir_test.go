@@ -69,7 +69,7 @@ func TestFacadeOverlay(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(terradir.Experiments()) != 14 {
+	if len(terradir.Experiments()) != 15 {
 		t.Fatalf("experiments = %d", len(terradir.Experiments()))
 	}
 	r, err := terradir.RunExperiment("table1", terradir.ReducedScale(0.02, 1))
