@@ -22,6 +22,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"terradir"
 	"terradir/internal/core"
 	"terradir/internal/overlay"
+	"terradir/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +51,9 @@ func main() {
 
 		faultDrop    = flag.Float64("fault-drop", 0, "inject: drop this fraction of outbound messages")
 		faultLatency = flag.Duration("fault-latency", 0, "inject: delay every outbound message by this much")
+
+		adminAddr   = flag.String("admin-addr", "", "admin HTTP listen address (/metrics, /debug/vars, /debug/pprof, /trace/<id>); empty disables")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of lookups initiated here that carry a distributed trace (0 disables)")
 	)
 	flag.Parse()
 
@@ -78,9 +83,14 @@ func main() {
 	}
 	ownerOf := func(nd core.NodeID) core.ServerID { return owner[nd] }
 
+	sample := *traceSample
+	if sample <= 0 {
+		sample = -1 // Options treats 0 as "default to 1"; negative disables
+	}
 	node, err := overlay.NewNode(core.ServerID(*id), tree, owned, ownerOf, overlay.Options{
 		Seed:         *seed + uint64(*id)*7919,
 		ServiceDelay: *svcDelay,
+		TraceSample:  sample,
 	})
 	if err != nil {
 		fatal(err)
@@ -109,6 +119,16 @@ func main() {
 	fmt.Printf("terradird: peer %d/%d up on %s; owns %d of %d nodes\n",
 		*id, *servers, transport.Addr(), len(owned), tree.Len())
 
+	var admin *telemetry.AdminServer
+	if *adminAddr != "" {
+		node.Registry().PublishExpvar("terradir")
+		admin, err = telemetry.StartAdmin(*adminAddr, node.Registry(), node.Traces())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("terradird: admin endpoint on http://%s (/metrics /debug/vars /debug/pprof/ /traces)\n", admin.Addr())
+	}
+
 	var clientLn net.Listener
 	if *client != "" {
 		clientLn, err = net.Listen("tcp", *client)
@@ -123,16 +143,31 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("terradird: shutting down")
+	if admin != nil {
+		admin.Close()
+	}
 	if clientLn != nil {
 		clientLn.Close()
 	}
 	node.Stop()
 	transport.Close()
-	if st, ok := node.TransportStats(); ok {
-		fmt.Printf("terradird: transport: enqueued=%d sent=%d queueDrops=%d writeErrors=%d "+
-			"dials=%d redials=%d dialErrors=%d corruptFrames=%d connErrors=%d faultDrops=%d\n",
-			st.Enqueued, st.Sent, st.QueueDrops, st.WriteErrors,
-			st.Dials, st.Redials, st.DialErrors, st.CorruptFrames, st.ConnErrors, st.FaultDrops)
+	dumpMetrics(node.Registry())
+}
+
+// dumpMetrics prints the final registry snapshot, one metric per line in
+// name order — the shutdown report now comes from the same counter system
+// the admin endpoint scrapes, instead of a hand-formatted subset.
+func dumpMetrics(reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name, v := range snap {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("terradird: metric %s = %g\n", name, snap[name])
 	}
 }
 

@@ -139,6 +139,8 @@ type Peer struct {
 	Hooks Hooks
 	Stats Stats
 
+	tel *peerTelemetry // nil until AttachTelemetry
+
 	scratchPath []NodeID // reusable buffer
 }
 
@@ -618,6 +620,9 @@ func (p *Peer) evictReplica(node NodeID) bool {
 	}
 	p.digestDirty = true
 	p.Stats.ReplicaEvictions++
+	if p.tel != nil {
+		p.tel.evictions.Inc()
+	}
 	if p.Hooks.OnReplicaEvicted != nil {
 		p.Hooks.OnReplicaEvicted(node)
 	}

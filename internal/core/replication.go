@@ -25,11 +25,7 @@ type replSession struct {
 // afterQuery runs the paper's trigger check: "a server checks its load after
 // each processed query" (§3.3 step 1).
 func (p *Peer) afterQuery() {
-	if !p.cfg.ReplicationEnabled || p.sess.state != replIdle {
-		return
-	}
-	now := p.env.Now()
-	if now-p.lastSessionEnd < p.cfg.ReplicationCooldown {
+	if !p.cfg.ReplicationEnabled {
 		return
 	}
 	thigh := p.cfg.Thigh
@@ -38,7 +34,16 @@ func (p *Peer) afterQuery() {
 			thigh = t
 		}
 	}
-	if p.effLoad() < thigh {
+	eff := p.effLoad()
+	p.trackWatermark(eff >= thigh)
+	if p.sess.state != replIdle {
+		return
+	}
+	now := p.env.Now()
+	if now-p.lastSessionEnd < p.cfg.ReplicationCooldown {
+		return
+	}
+	if eff < thigh {
 		return
 	}
 	if len(p.hostedList) == 0 {
@@ -147,6 +152,10 @@ func (p *Peer) HandleControl(m Message) {
 	case *DataReply:
 		// Consumed by the driver (overlay) before reaching the peer; absorb
 		// the rider and otherwise ignore.
+		p.absorbPiggy(&msg.Piggy)
+	case *TraceSpanMsg:
+		// Span reports are collected by the driver's trace store before
+		// reaching the peer; only the rider matters here.
 		p.absorbPiggy(&msg.Piggy)
 	case *ResultMsg:
 		p.HandleResult(msg)
@@ -347,6 +356,9 @@ func (p *Peer) installReplica(pl *ReplicaPayload, from ServerID) bool {
 	p.hostedList = append(p.hostedList, hn)
 	p.digestDirty = true
 	p.Stats.ReplicaInstalls++
+	if p.tel != nil {
+		p.tel.installs.Inc()
+	}
 	if p.Hooks.OnReplicaInstalled != nil {
 		p.Hooks.OnReplicaInstalled(pl.Node, from)
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "terradir/internal/namespace"
+import (
+	"terradir/internal/namespace"
+	"terradir/internal/telemetry"
+)
 
 // HandleQuery processes one lookup at service completion: resolve locally if
 // this peer hosts the destination, otherwise forward to a host of the
@@ -23,6 +26,7 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 
 	if hn, ok := p.hosted[q.Dest]; ok {
 		p.touchNode(hn)
+		q.Spans = p.traceSpan(q, hn.id, telemetry.HopResolve)
 		p.sendResult(q, hn)
 		p.afterQuery()
 		return
@@ -39,6 +43,7 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 	var newDist int
 	var closestHosted *hostedNode
 	var skip map[NodeID]bool
+	reason := telemetry.HopNone
 	shortcutTried := false
 	// Candidate selection loop: take the closest known node; if its map is
 	// unusable after digest filtering (§3.7 map filtering is strict — stale
@@ -59,7 +64,12 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 			}
 			if s, node, d := p.digestShortcut(q.Dest, limit); s != NoServer {
 				target, onBehalf, newDist = s, node, d
+				reason = telemetry.HopReplica
 				p.Stats.DigestShortcuts++
+				if p.tel != nil {
+					p.tel.digestShortcuts.Inc()
+					p.tel.cacheMisses.Inc()
+				}
 				break
 			}
 		}
@@ -73,8 +83,19 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 			if viaCache {
 				p.cache.Get(cand) // touch: used in routing (§2.4)
 				p.Stats.CacheHits++
+				reason = telemetry.HopCache
+				if p.tel != nil {
+					p.tel.cacheHits.Inc()
+				}
 			} else {
 				p.Stats.ContextHops++
+				reason = telemetry.HopChild
+				if closestHosted != nil && p.tree.Parent(closestHosted.id) == cand {
+					reason = telemetry.HopParent
+				}
+				if p.tel != nil {
+					p.tel.cacheMisses.Inc()
+				}
 			}
 			break
 		}
@@ -97,8 +118,17 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 		return
 	}
 
-	if p.Hooks.OnForwardStep != nil && q.Hops > 0 {
-		p.Hooks.OnForwardStep(int(q.PrevDist), newDist)
+	if q.Hops > 0 {
+		if p.Hooks.OnForwardStep != nil {
+			p.Hooks.OnForwardStep(int(q.PrevDist), newDist)
+		}
+		if p.tel != nil {
+			if newDist < int(q.PrevDist) {
+				p.tel.progress.Inc()
+			} else {
+				p.tel.detours.Inc()
+			}
+		}
 	}
 
 	// Charge the routing work to the hosted node whose context represents
@@ -110,17 +140,23 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 	}
 
 	fwd := &QueryMsg{
-		QueryID:  q.QueryID,
-		Dest:     q.Dest,
-		Source:   q.Source,
-		OnBehalf: onBehalf,
-		Hops:     q.Hops + 1,
-		Started:  q.Started,
-		PrevDist: int32(newDist),
-		Path:     p.extendPath(q.Path, closestHosted),
-		Piggy:    p.piggyback(),
+		QueryID:    q.QueryID,
+		Dest:       q.Dest,
+		Source:     q.Source,
+		OnBehalf:   onBehalf,
+		Hops:       q.Hops + 1,
+		Started:    q.Started,
+		PrevDist:   int32(newDist),
+		Path:       p.extendPath(q.Path, closestHosted),
+		TraceID:    q.TraceID,
+		SpanBudget: q.SpanBudget,
+		Spans:      p.traceSpan(q, onBehalf, reason),
+		Piggy:      p.piggyback(),
 	}
 	p.Stats.Forwarded++
+	if p.tel != nil {
+		p.tel.forwarded.Inc()
+	}
 	p.env.Send(target, fwd)
 	p.afterQuery()
 }
@@ -291,10 +327,15 @@ func (p *Peer) sendResult(q *QueryMsg, hn *hostedNode) {
 		Meta:    hn.meta.Clone(),
 		Map:     p.outgoingMap(hn.id),
 		Path:    path,
+		TraceID: q.TraceID,
+		Spans:   q.Spans,
 		Piggy:   p.piggyback(),
 	}
 	p.Stats.Resolved++
 	p.Stats.ResultsSent++
+	if p.tel != nil {
+		p.tel.resolved.Inc()
+	}
 	p.env.Send(q.Source, res)
 }
 
@@ -304,6 +345,9 @@ func (p *Peer) sendFail(q *QueryMsg, reason FailReason) {
 	} else {
 		p.Stats.FailedNoRoute++
 	}
+	if p.tel != nil {
+		p.tel.failed.Inc()
+	}
 	res := &ResultMsg{
 		QueryID: q.QueryID,
 		Dest:    q.Dest,
@@ -312,6 +356,8 @@ func (p *Peer) sendFail(q *QueryMsg, reason FailReason) {
 		Hops:    q.Hops,
 		Started: q.Started,
 		Path:    q.Path, // ownership transfer, see extendPath
+		TraceID: q.TraceID,
+		Spans:   p.traceSpan(q, q.Dest, telemetry.HopFail),
 		Piggy:   p.piggyback(),
 	}
 	p.Stats.ResultsSent++

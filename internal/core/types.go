@@ -3,6 +3,7 @@ package core
 import (
 	"terradir/internal/bloom"
 	"terradir/internal/namespace"
+	"terradir/internal/telemetry"
 )
 
 // ServerID identifies a participating server (peer). IDs are dense in
@@ -58,6 +59,23 @@ type QueryMsg struct {
 	// path-propagation caching (§2.4) and disseminating replica maps (§3.7).
 	Path []PathEntry
 
+	// TraceID identifies the lookup's distributed trace; 0 means untraced.
+	// Every server on the route appends a telemetry.Span describing its hop.
+	TraceID uint64
+	// SpanBudget bounds the in-band span chain (stale-state loops must not
+	// grow the message unboundedly); hops past the budget still report
+	// out-of-band but are dropped from the in-band chain.
+	SpanBudget int32
+	// Spans is the in-band span chain accumulated along the route.
+	Spans []telemetry.Span
+
+	// Enqueued and ServedAt are driver-local timestamps (seconds) set by the
+	// hosting server when the query enters its request queue and when service
+	// begins. They never cross the wire — each hop measures its own queue
+	// wait and service time from them.
+	Enqueued float64
+	ServedAt float64
+
 	Piggy Piggyback
 }
 
@@ -74,10 +92,27 @@ type ResultMsg struct {
 	Meta    Meta
 	Map     NodeMap // mapping for the resolved node (lookup semantics §2.1)
 	Path    []PathEntry
+	// TraceID and Spans carry the lookup's completed trace back to the
+	// initiator (TraceID 0 = untraced).
+	TraceID uint64
+	Spans   []telemetry.Span
 	Piggy   Piggyback
 }
 
 func (*ResultMsg) kind() string { return "result" }
+
+// TraceSpanMsg is the out-of-band per-hop span report sent to the query's
+// initiating server as the query routes. It is redundant with the in-band
+// chain for completed lookups, but it is what survives when the query itself
+// is lost mid-route: the initiator's trace store then holds a truncated
+// prefix of the route instead of nothing.
+type TraceSpanMsg struct {
+	TraceID uint64
+	Span    telemetry.Span
+	Piggy   Piggyback
+}
+
+func (*TraceSpanMsg) kind() string { return "trace-span" }
 
 // FailReason classifies lookup failures.
 type FailReason uint8

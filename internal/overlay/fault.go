@@ -31,11 +31,12 @@ type FaultOptions struct {
 type FaultTransport struct {
 	inner Transport
 
-	mu      sync.Mutex
-	opts    FaultOptions
-	src     *rng.Source
-	crashed map[core.ServerID]bool
-	blocked map[[2]core.ServerID]bool
+	mu         sync.Mutex
+	opts       FaultOptions
+	src        *rng.Source
+	crashed    map[core.ServerID]bool
+	blocked    map[[2]core.ServerID]bool
+	dropFilter func(from, to core.ServerID, m core.Message) bool
 
 	faultDrops atomic.Uint64
 	delayed    atomic.Uint64
@@ -129,6 +130,16 @@ func (f *FaultTransport) SetDropProb(p float64) {
 	f.mu.Unlock()
 }
 
+// SetDropFilter installs a predicate that drops exactly the messages it
+// returns true for — targeted loss (e.g. "the query on the B→C edge")
+// where DropProb is probabilistic. nil removes the filter. The filter runs
+// under the transport lock; keep it fast and non-reentrant.
+func (f *FaultTransport) SetDropFilter(filter func(from, to core.ServerID, m core.Message) bool) {
+	f.mu.Lock()
+	f.dropFilter = filter
+	f.mu.Unlock()
+}
+
 // SetLatency changes the added delivery latency and jitter.
 func (f *FaultTransport) SetLatency(latency, jitter time.Duration) {
 	f.mu.Lock()
@@ -142,6 +153,7 @@ func (f *FaultTransport) SetLatency(latency, jitter time.Duration) {
 func (f *FaultTransport) Send(from, to core.ServerID, m core.Message) error {
 	f.mu.Lock()
 	if f.crashed[from] || f.crashed[to] || f.blocked[[2]core.ServerID{from, to}] ||
+		(f.dropFilter != nil && f.dropFilter(from, to, m)) ||
 		(f.opts.DropProb > 0 && f.src.Float64() < f.opts.DropProb) {
 		f.mu.Unlock()
 		f.faultDrops.Add(1)

@@ -20,6 +20,7 @@ import (
 	"terradir/internal/namespace"
 	"terradir/internal/rng"
 	"terradir/internal/sim"
+	"terradir/internal/telemetry"
 )
 
 // Options configures a Node.
@@ -40,6 +41,17 @@ type Options struct {
 	DataTimeout time.Duration
 	// Seed seeds the node's deterministic RNG stream.
 	Seed uint64
+	// Registry receives the node's metrics (labeled server="<id>"). Nodes of
+	// one process may share a registry; nil allocates a private one
+	// (reachable via Node.Registry).
+	Registry *telemetry.Registry
+	// TraceSample is the fraction of lookups initiated at this node that
+	// carry a distributed trace. 0 defaults to 1 (trace everything — the
+	// per-hop cost is one small control message); negative disables tracing.
+	TraceSample float64
+	// TraceCap bounds the node's retained trace records
+	// (telemetry.DefaultTraceCap if 0).
+	TraceCap int
 }
 
 func (o *Options) fill(id core.ServerID) {
@@ -58,6 +70,12 @@ func (o *Options) fill(id core.ServerID) {
 	if o.Seed == 0 {
 		o.Seed = uint64(id) + 1
 	}
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
+	}
 }
 
 // LookupResult is the client-facing outcome of a lookup (§2.1: name,
@@ -71,6 +89,12 @@ type LookupResult struct {
 	Hosts   []core.ServerID
 	Hops    int
 	Latency time.Duration
+	// TraceID identifies the lookup's distributed trace (0 = untraced).
+	TraceID uint64
+	// Trace is the per-hop span chain the result carried back: one span per
+	// server on the route, in hop order, with queue-wait/service timings and
+	// the forwarding mechanism each hop used.
+	Trace []telemetry.Span
 }
 
 // Transport delivers messages between nodes. Implementations must be safe
@@ -144,6 +168,15 @@ type Node struct {
 	nextQID atomic.Uint64
 	dropped atomic.Int64
 
+	reg    *telemetry.Registry
+	traces *telemetry.TraceStore
+
+	inboxDrops    *telemetry.Counter
+	queueWaitHist *telemetry.Histogram
+	serviceHist   *telemetry.Histogram
+	latencyHist   *telemetry.Histogram
+	hopsHist      *telemetry.Histogram
+
 	mu          sync.Mutex
 	pending     map[uint64]chan LookupResult
 	pendingData map[uint64]chan *core.DataReply
@@ -202,8 +235,32 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 	}
 	peer.FinishSetup(ownerOf)
 	n.peer = peer
+	n.reg = opts.Registry
+	n.traces = telemetry.NewTraceStore(opts.TraceCap)
+	server := []string{"server", fmt.Sprint(id)}
+	peer.AttachTelemetry(n.reg, server...)
+	n.inboxDrops = n.reg.Counter("terradir_inbox_query_drops_total",
+		"Queries dropped because the server's bounded request queue was full.", server...)
+	latencyLayout := telemetry.HistogramOpts{Min: 1e-6, Max: 1e3, BucketsPerDecade: 8}
+	n.queueWaitHist = n.reg.Histogram("terradir_queue_wait_seconds",
+		"Time queries spent in the request queue before service.", latencyLayout, server...)
+	n.serviceHist = n.reg.Histogram("terradir_service_seconds",
+		"Per-query service time (protocol handling plus configured delay).", latencyLayout, server...)
+	n.latencyHist = n.reg.Histogram("terradir_lookup_latency_seconds",
+		"End-to-end latency of lookups initiated at this server.", latencyLayout, server...)
+	n.hopsHist = n.reg.Histogram("terradir_lookup_hops",
+		"Hop count of lookups initiated at this server.",
+		telemetry.HistogramOpts{Min: 1, Max: 100, BucketsPerDecade: 16}, server...)
 	return n, nil
 }
+
+// Registry returns the node's metrics registry (shared when Options.Registry
+// was set).
+func (n *Node) Registry() *telemetry.Registry { return n.reg }
+
+// Traces returns the node's trace store: the assembled span chains of
+// lookups initiated here, including truncated traces of lost queries.
+func (n *Node) Traces() *telemetry.TraceStore { return n.traces }
 
 // ID returns the node's server ID.
 func (n *Node) ID() core.ServerID { return n.id }
@@ -212,8 +269,15 @@ func (n *Node) ID() core.ServerID { return n.id }
 // inspected while the node is stopped (the loop owns it while running).
 func (n *Node) Peer() *core.Peer { return n.peer }
 
-// Dropped returns the number of queries discarded by the bounded inbox.
-func (n *Node) Dropped() int64 { return n.dropped.Load() }
+// InboxDropped returns the number of queries discarded by the bounded inbox
+// — the server's own admission control, distinct from TransportStats
+// counters (QueueDrops: outbound per-peer queue evictions; FaultDrops:
+// injected loss). The same count is exported by the registry as
+// terradir_inbox_query_drops_total.
+func (n *Node) InboxDropped() int64 { return n.dropped.Load() }
+
+// Dropped is a deprecated alias for InboxDropped.
+func (n *Node) Dropped() int64 { return n.InboxDropped() }
 
 // SetTransport wires the node's outgoing path. Must be called before Start.
 func (n *Node) SetTransport(t Transport) { n.transport = t }
@@ -223,7 +287,45 @@ func (n *Node) Start() {
 	if n.transport == nil {
 		panic("overlay: Start before SetTransport")
 	}
+	n.registerTransportMetrics()
 	go n.loop()
+}
+
+// registerTransportMetrics exports the transport's counters through the
+// registry as scrape-time functions, so the transport keeps sole ownership
+// of its atomics and the registry reads them on demand — one counter
+// system, no double accounting.
+func (n *Node) registerTransportMetrics() {
+	sr, ok := n.transport.(StatsReporter)
+	if !ok {
+		return
+	}
+	server := []string{"server", fmt.Sprint(n.id)}
+	counter := func(name, help string, read func(TransportStats) uint64) {
+		n.reg.CounterFunc(name, help, func() float64 { return float64(read(sr.Stats())) }, server...)
+	}
+	counter("terradir_transport_enqueued_total", "Messages accepted into outbound transport queues.",
+		func(s TransportStats) uint64 { return s.Enqueued })
+	counter("terradir_transport_sent_total", "Frames written to sockets.",
+		func(s TransportStats) uint64 { return s.Sent })
+	counter("terradir_transport_queue_drops_total", "Messages evicted from full outbound queues (drop-oldest).",
+		func(s TransportStats) uint64 { return s.QueueDrops })
+	counter("terradir_transport_write_errors_total", "Frames lost to write failures or expired deadlines.",
+		func(s TransportStats) uint64 { return s.WriteErrors })
+	counter("terradir_transport_dials_total", "Successful connection attempts.",
+		func(s TransportStats) uint64 { return s.Dials })
+	counter("terradir_transport_dial_errors_total", "Failed connection attempts.",
+		func(s TransportStats) uint64 { return s.DialErrors })
+	counter("terradir_transport_redials_total", "Successful dials replacing a previously established connection.",
+		func(s TransportStats) uint64 { return s.Redials })
+	counter("terradir_transport_corrupt_frames_total", "Inbound frames that failed framing or decoding.",
+		func(s TransportStats) uint64 { return s.CorruptFrames })
+	counter("terradir_transport_conn_errors_total", "Inbound connections terminated by a non-EOF error.",
+		func(s TransportStats) uint64 { return s.ConnErrors })
+	counter("terradir_transport_fault_drops_total", "Messages dropped by fault injection.",
+		func(s TransportStats) uint64 { return s.FaultDrops })
+	n.reg.GaugeFunc("terradir_transport_queue_depth", "Messages currently queued outbound.",
+		func() float64 { return float64(sr.Stats().QueueDepth) }, server...)
 }
 
 // Stop terminates the event loop and waits for it to exit.
@@ -277,6 +379,13 @@ func (n *Node) handleControl(env envelope) {
 		n.peer.HandleResult(m)
 		n.completeLookup(m)
 		return
+	case *core.TraceSpanMsg:
+		// A hop on one of our lookups' routes reported its span; fold it into
+		// the trace store (this is what survives a lost query), then let the
+		// peer absorb the piggybacked rider.
+		n.traces.AddSpan(m.TraceID, m.Span)
+		n.peer.HandleControl(m)
+		return
 	case *core.DataReply:
 		n.peer.HandleControl(m) // absorb the piggybacked rider
 		n.mu.Lock()
@@ -295,11 +404,17 @@ func (n *Node) handleControl(env envelope) {
 
 func (n *Node) serveQuery(q *core.QueryMsg) {
 	start := time.Since(n.epoch).Seconds()
+	q.ServedAt = start // spans measure service from here, including the delay
+	if q.Enqueued > 0 && start >= q.Enqueued {
+		n.queueWaitHist.Observe(start - q.Enqueued)
+	}
 	if n.opts.ServiceDelay > 0 {
 		time.Sleep(n.opts.ServiceDelay)
 	}
 	n.peer.HandleQuery(q)
-	n.meter.AddBusy(start, time.Since(n.epoch).Seconds())
+	end := time.Since(n.epoch).Seconds()
+	n.serviceHist.Observe(end - start)
+	n.meter.AddBusy(start, end)
 }
 
 // Deliver injects an incoming message (called by transports; safe from any
@@ -307,10 +422,12 @@ func (n *Node) serveQuery(q *core.QueryMsg) {
 func (n *Node) Deliver(m core.Message) {
 	switch msg := m.(type) {
 	case *core.QueryMsg:
+		msg.Enqueued = time.Since(n.epoch).Seconds()
 		select {
 		case n.queries <- msg:
 		default:
 			n.dropped.Add(1)
+			n.inboxDrops.Inc()
 		}
 	default:
 		select {
@@ -338,8 +455,13 @@ func (n *Node) completeLookup(r *core.ResultMsg) {
 		Meta:    r.Meta,
 		Hops:    r.Hops,
 		Latency: time.Duration((time.Since(n.epoch).Seconds() - r.Started) * float64(time.Second)),
+		TraceID: r.TraceID,
+		Trace:   append([]telemetry.Span(nil), r.Spans...),
 	}
 	res.Hosts = append(res.Hosts, r.Map.Servers...)
+	n.latencyHist.Observe(res.Latency.Seconds())
+	n.hopsHist.Observe(float64(res.Hops))
+	n.traces.Complete(r.TraceID, r.Spans, r.OK, r.Hops)
 	ch <- res
 }
 
@@ -361,6 +483,13 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		OnBehalf: namespace.Invalid,
 		Started:  time.Since(n.epoch).Seconds(),
 	}
+	q.Enqueued = q.Started
+	if id := n.traceID(qid); id != 0 {
+		q.TraceID = id
+		// Budget: the full route plus the resolving hop, with one spare for
+		// the rare route that ends exactly at MaxHops.
+		q.SpanBudget = int32(n.opts.Config.MaxHops) + 2
+	}
 	select {
 	case n.queries <- q:
 	default:
@@ -368,6 +497,7 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		delete(n.pending, qid)
 		n.mu.Unlock()
 		n.dropped.Add(1)
+		n.inboxDrops.Inc()
 		return LookupResult{}, fmt.Errorf("overlay: server %d queue full", n.id)
 	}
 	select {
@@ -381,6 +511,35 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 	case <-n.stop:
 		return LookupResult{}, fmt.Errorf("overlay: node stopped")
 	}
+}
+
+// traceID decides whether lookup qid is traced and derives its trace ID
+// (0 = untraced). Sampling is deterministic in (seed, qid), so identical
+// runs trace identical lookups; the ID mixes in the server so concurrent
+// initiators never collide.
+func (n *Node) traceID(qid uint64) uint64 {
+	s := n.opts.TraceSample
+	if s <= 0 {
+		return 0
+	}
+	h := splitmix64(n.opts.Seed ^ (qid * 0x9e3779b97f4a7c15))
+	if s < 1 && float64(h>>11)/(1<<53) >= s {
+		return 0
+	}
+	id := splitmix64(h ^ (uint64(uint32(n.id)) << 32))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // LookupName resolves a fully qualified name through the overlay.

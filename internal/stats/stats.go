@@ -201,50 +201,108 @@ func SlidingMean(v []float64, width int) []float64 {
 	return out
 }
 
-// Histogram is a simple exact histogram retaining all samples; adequate for
-// per-run latency distributions at the scales simulated. Quantiles are
-// computed by sorting on demand.
+// DefaultHistogramCap is the reservoir size a zero-value Histogram uses.
+// 4096 samples bound the quantile's standard error to under ~1% at any
+// stream length while keeping memory fixed.
+const DefaultHistogramCap = 4096
+
+// Histogram summarizes a sample stream in bounded memory: count, sum, min
+// and max are tracked exactly, and quantiles are estimated from a uniform
+// reservoir (Vitter's Algorithm R) of at most Cap samples. Below the cap it
+// retains every sample, so small runs keep exact quantiles; past it, memory
+// stays fixed no matter how many samples stream through — the property
+// multi-million-query experiment runs need. Replacement uses a deterministic
+// seeded generator, so identical streams produce identical summaries. The
+// zero value is ready to use with DefaultHistogramCap.
 type Histogram struct {
-	samples []float64
+	samples []float64 // uniform reservoir over the stream
+	cap     int
+	n       int64
+	sum     float64
+	min     float64
+	max     float64
+	rstate  uint64 // splitmix64 state for replacement draws
 	sorted  bool
 }
 
-// Add appends a sample.
+// NewHistogram creates a histogram whose reservoir keeps at most cap samples
+// (<= 0 selects DefaultHistogramCap).
+func NewHistogram(cap int) *Histogram {
+	if cap <= 0 {
+		cap = DefaultHistogramCap
+	}
+	return &Histogram{cap: cap}
+}
+
+// Add incorporates a sample.
 func (h *Histogram) Add(x float64) {
-	h.samples = append(h.samples, x)
-	h.sorted = false
+	if h.n == 0 {
+		h.min, h.max = x, x
+	} else {
+		if x < h.min {
+			h.min = x
+		}
+		if x > h.max {
+			h.max = x
+		}
+	}
+	h.n++
+	h.sum += x
+	if h.cap == 0 {
+		h.cap = DefaultHistogramCap
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, x)
+		h.sorted = false
+		return
+	}
+	// Algorithm R: replace a uniformly random slot with probability cap/n.
+	h.rstate += 0x9e3779b97f4a7c15
+	r := h.rstate
+	r ^= r >> 30
+	r *= 0xbf58476d1ce4e5b9
+	r ^= r >> 27
+	r *= 0x94d049bb133111eb
+	r ^= r >> 31
+	if j := int(r % uint64(h.n)); j < len(h.samples) {
+		h.samples[j] = x
+		h.sorted = false
+	}
 }
 
-// N returns the sample count.
-func (h *Histogram) N() int { return len(h.samples) }
+// N returns the total number of samples observed (not the retained count).
+func (h *Histogram) N() int { return int(h.n) }
 
-// Mean returns the sample mean (0 if empty).
+// Mean returns the exact sample mean (0 if empty).
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, x := range h.samples {
-		s += x
-	}
-	return s / float64(len(h.samples))
+	return h.sum / float64(h.n)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) via nearest-rank on the
-// sorted samples; 0 if empty.
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1): exact min/max at the
+// extremes, nearest-rank over the reservoir otherwise (exact while the
+// stream fits the cap, an unbiased estimate beyond it); 0 if empty.
 func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
 	}
 	if !h.sorted {
 		sort.Float64s(h.samples)
 		h.sorted = true
-	}
-	if q <= 0 {
-		return h.samples[0]
-	}
-	if q >= 1 {
-		return h.samples[len(h.samples)-1]
 	}
 	idx := int(q * float64(len(h.samples)-1))
 	return h.samples[idx]

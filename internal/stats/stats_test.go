@@ -223,6 +223,49 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramReservoirBoundsMemory(t *testing.T) {
+	h := NewHistogram(512)
+	const total = 100_000
+	for i := 1; i <= total; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != total {
+		t.Fatalf("N = %d", h.N())
+	}
+	if len(h.samples) != 512 {
+		t.Fatalf("reservoir grew to %d (cap 512)", len(h.samples))
+	}
+	// Exact aggregates survive past the cap.
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("min = %v", q)
+	}
+	if q := h.Quantile(1); q != total {
+		t.Fatalf("max = %v", q)
+	}
+	if m := h.Mean(); math.Abs(m-(total+1)/2.0) > 1e-6 {
+		t.Fatalf("mean = %v", m)
+	}
+	// A uniform reservoir over a uniform stream keeps the median near the
+	// true value; ±10% is ~5 standard errors at 512 samples.
+	if q := h.Quantile(0.5); q < total*0.40 || q > total*0.60 {
+		t.Fatalf("median = %v, want ~%v", q, total/2)
+	}
+}
+
+func TestHistogramDeterministic(t *testing.T) {
+	a, b := NewHistogram(64), NewHistogram(64)
+	for i := 0; i < 10_000; i++ {
+		x := float64(i%997) * 1.5
+		a.Add(x)
+		b.Add(x)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("identical streams disagree at q=%v: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Quantile(0.5) != 0 {

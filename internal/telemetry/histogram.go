@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// HistogramOpts fixes a histogram's log-spaced bucket layout. Buckets are
+// geometric: BucketsPerDecade buckets per factor of 10 between Min and Max,
+// plus an underflow bucket (≤ Min) and an overflow bucket (> Max). The
+// relative quantile error is bounded by the bucket ratio
+// (10^(1/BucketsPerDecade) − 1, ~33% at 8 per decade, ~15% at 16).
+type HistogramOpts struct {
+	// Min is the upper bound of the first bucket (> 0). Default 1e-6
+	// (1 µs when observing seconds).
+	Min float64
+	// Max is the lower bound of the overflow bucket. Default 1e4.
+	Max float64
+	// BucketsPerDecade sets resolution. Default 8.
+	BucketsPerDecade int
+}
+
+func (o *HistogramOpts) fill() {
+	if o.Min <= 0 {
+		o.Min = 1e-6
+	}
+	if o.Max <= o.Min {
+		o.Max = o.Min * 1e10
+	}
+	if o.BucketsPerDecade <= 0 {
+		o.BucketsPerDecade = 8
+	}
+}
+
+// Histogram is a fixed-memory streaming histogram over log-spaced buckets.
+// Observe is lock-free (two atomic adds plus a CAS loop for the sum);
+// quantiles are estimated from the bucket counts at read time. Memory is
+// bounded by the bucket count regardless of how many samples stream through
+// — the property the unbounded sample-retaining histogram in internal/stats
+// lacked for multi-million-query runs.
+type Histogram struct {
+	min     float64
+	invLog  float64 // BucketsPerDecade / ln(10)
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is overflow (> Max)
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram creates a histogram with the given layout (zero opts select
+// the defaults).
+func NewHistogram(opts HistogramOpts) *Histogram {
+	opts.fill()
+	decades := math.Log10(opts.Max / opts.Min)
+	n := int(math.Ceil(decades * float64(opts.BucketsPerDecade)))
+	if n < 1 {
+		n = 1
+	}
+	h := &Histogram{
+		min:    opts.Min,
+		invLog: float64(opts.BucketsPerDecade) / math.Ln10,
+	}
+	h.bounds = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		h.bounds[i] = opts.Min * math.Pow(10, float64(i)/float64(opts.BucketsPerDecade))
+	}
+	h.buckets = make([]atomic.Uint64, n+2)
+	return h
+}
+
+// bucketIndex maps a sample to its bucket: 0 holds everything ≤ Min,
+// len(buckets)-1 everything above Max.
+func (h *Histogram) bucketIndex(x float64) int {
+	if x <= h.min || math.IsNaN(x) {
+		return 0
+	}
+	i := int(math.Log(x/h.min)*h.invLog) + 1
+	if i < 1 {
+		i = 1
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	// Floating point can land one bucket off either way near bucket bounds;
+	// nudge to the exact bucket (i covers (bounds[i-1], bounds[i]]).
+	for i > 1 && x <= h.bounds[i-1] {
+		i--
+	}
+	for i < len(h.buckets)-1 && x > h.bounds[i] {
+		i++
+	}
+	return i
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.buckets[h.bucketIndex(x)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the sample mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts: the
+// geometric midpoint of the bucket holding the target rank. The estimate is
+// within one bucket ratio of the true value for in-range samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return h.bucketMid(i)
+		}
+	}
+	return h.bucketMid(len(h.buckets) - 1)
+}
+
+// bucketMid returns the representative value for bucket i: Min for the
+// underflow bucket, Max for the overflow bucket, the geometric midpoint of
+// the bucket bounds otherwise.
+func (h *Histogram) bucketMid(i int) float64 {
+	switch {
+	case i <= 0:
+		return h.min
+	case i >= len(h.buckets)-1:
+		return h.bounds[len(h.bounds)-1]
+	default:
+		return math.Sqrt(h.bounds[i-1] * h.bounds[i])
+	}
+}
+
+// writePrometheus renders the histogram in Prometheus exposition format
+// (cumulative le buckets, _sum, _count).
+func (h *Histogram) writePrometheus(w io.Writer, name, labels string) {
+	sep := ","
+	open := labels
+	if open == "" {
+		open = "{"
+		sep = ""
+	} else {
+		open = labels[:len(labels)-1] // strip trailing '}'
+	}
+	var cum uint64
+	for i := 0; i < len(h.buckets)-1; i++ {
+		cum += h.buckets[i].Load()
+		le := strconv.FormatFloat(h.bounds[min(i, len(h.bounds)-1)], 'g', 6, 64)
+		fmt.Fprintf(w, "%s_bucket%s%sle=\"%s\"} %d\n", name, open, sep, le, cum)
+	}
+	cum += h.buckets[len(h.buckets)-1].Load()
+	fmt.Fprintf(w, "%s_bucket%s%sle=\"+Inf\"} %d\n", name, open, sep, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}

@@ -16,7 +16,14 @@ import (
 
 	"terradir/internal/bloom"
 	"terradir/internal/core"
+	"terradir/internal/telemetry"
 )
+
+// Version is the wire protocol version. Version 2 added per-lookup trace
+// fields to query/result frames and the trace-span message kind; version-1
+// frames decode fine (gob tolerates absent fields), but version-1 decoders
+// reject kindTraceSpan frames, so mixed deployments must not enable tracing.
+const Version = 2
 
 // Message kind tags.
 const (
@@ -28,6 +35,7 @@ const (
 	kindReplicateReply
 	kindDataRequest
 	kindDataReply
+	kindTraceSpan // wire version 2
 )
 
 // MaxFrame bounds accepted frame sizes (1 MiB) to protect against corrupt or
@@ -53,15 +61,18 @@ type wireDigest struct {
 }
 
 type wireQuery struct {
-	QueryID  uint64
-	Dest     int32
-	Source   int32
-	OnBehalf int32
-	Hops     int32
-	Started  float64
-	PrevDist int32
-	Path     []core.PathEntry
-	Piggy    wirePiggy
+	QueryID    uint64
+	Dest       int32
+	Source     int32
+	OnBehalf   int32
+	Hops       int32
+	Started    float64
+	PrevDist   int32
+	Path       []core.PathEntry
+	TraceID    uint64
+	SpanBudget int32
+	Spans      []telemetry.Span
+	Piggy      wirePiggy
 }
 
 type wireResult struct {
@@ -74,6 +85,14 @@ type wireResult struct {
 	Meta    core.Meta
 	Map     core.NodeMap
 	Path    []core.PathEntry
+	TraceID uint64
+	Spans   []telemetry.Span
+	Piggy   wirePiggy
+}
+
+type wireTraceSpan struct {
+	TraceID uint64
+	Span    telemetry.Span
 	Piggy   wirePiggy
 }
 
@@ -156,15 +175,20 @@ func Encode(m core.Message) ([]byte, error) {
 		payload = wireQuery{
 			QueryID: v.QueryID, Dest: int32(v.Dest), Source: int32(v.Source),
 			OnBehalf: int32(v.OnBehalf), Hops: int32(v.Hops), Started: v.Started,
-			PrevDist: v.PrevDist, Path: v.Path, Piggy: packPiggy(v.Piggy),
+			PrevDist: v.PrevDist, Path: v.Path,
+			TraceID: v.TraceID, SpanBudget: v.SpanBudget, Spans: v.Spans,
+			Piggy: packPiggy(v.Piggy),
 		}
 	case *core.ResultMsg:
 		kind = kindResult
 		payload = wireResult{
 			QueryID: v.QueryID, Dest: int32(v.Dest), OK: v.OK, Reason: uint8(v.Reason),
 			Hops: int32(v.Hops), Started: v.Started, Meta: v.Meta, Map: v.Map,
-			Path: v.Path, Piggy: packPiggy(v.Piggy),
+			Path: v.Path, TraceID: v.TraceID, Spans: v.Spans, Piggy: packPiggy(v.Piggy),
 		}
+	case *core.TraceSpanMsg:
+		kind = kindTraceSpan
+		payload = wireTraceSpan{TraceID: v.TraceID, Span: v.Span, Piggy: packPiggy(v.Piggy)}
 	case *core.LoadProbeMsg:
 		kind = kindLoadProbe
 		payload = wireLoadProbe{Session: v.Session, From: int32(v.From), Piggy: packPiggy(v.Piggy)}
@@ -216,7 +240,9 @@ func Decode(data []byte) (core.Message, error) {
 		return &core.QueryMsg{
 			QueryID: w.QueryID, Dest: core.NodeID(w.Dest), Source: core.ServerID(w.Source),
 			OnBehalf: core.NodeID(w.OnBehalf), Hops: int(w.Hops), Started: w.Started,
-			PrevDist: w.PrevDist, Path: w.Path, Piggy: pg,
+			PrevDist: w.PrevDist, Path: w.Path,
+			TraceID: w.TraceID, SpanBudget: w.SpanBudget, Spans: w.Spans,
+			Piggy: pg,
 		}, nil
 	case kindResult:
 		var w wireResult
@@ -230,7 +256,8 @@ func Decode(data []byte) (core.Message, error) {
 		return &core.ResultMsg{
 			QueryID: w.QueryID, Dest: core.NodeID(w.Dest), OK: w.OK,
 			Reason: core.FailReason(w.Reason), Hops: int(w.Hops), Started: w.Started,
-			Meta: w.Meta, Map: w.Map, Path: w.Path, Piggy: pg,
+			Meta: w.Meta, Map: w.Map, Path: w.Path,
+			TraceID: w.TraceID, Spans: w.Spans, Piggy: pg,
 		}, nil
 	case kindLoadProbe:
 		var w wireLoadProbe
@@ -299,6 +326,16 @@ func Decode(data []byte) (core.Message, error) {
 			return nil, err
 		}
 		return &core.DataReply{ReqID: w.ReqID, Node: core.NodeID(w.Node), OK: w.OK, Data: w.Data, From: core.ServerID(w.From), Piggy: pg}, nil
+	case kindTraceSpan:
+		var w wireTraceSpan
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode trace span: %w", err)
+		}
+		pg, err := unpackPiggy(w.Piggy)
+		if err != nil {
+			return nil, err
+		}
+		return &core.TraceSpanMsg{TraceID: w.TraceID, Span: w.Span, Piggy: pg}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

@@ -7,6 +7,7 @@ import (
 
 	"terradir/internal/bloom"
 	"terradir/internal/core"
+	"terradir/internal/telemetry"
 )
 
 func samplePiggy() core.Piggyback {
@@ -159,6 +160,46 @@ func TestControlRoundTrips(t *testing.T) {
 	if gg.Session.ID != 5 || gg.Session.From != 2 || len(gg.Accepted) != 1 || gg.Accepted[0] != 4 {
 		t.Fatalf("reply mismatch: %+v", gg)
 	}
+}
+
+func TestTraceFieldsRoundTrip(t *testing.T) {
+	spans := []telemetry.Span{
+		{Seq: 0, Server: 1, Node: 3, Reason: telemetry.HopChild, QueueWaitMicros: 12, ServiceMicros: 340},
+		{Seq: 1, Server: 4, Node: 7, Reason: telemetry.HopCache, QueueWaitMicros: 5, ServiceMicros: 88},
+	}
+	q := &core.QueryMsg{
+		QueryID:    8,
+		Dest:       7,
+		Source:     1,
+		TraceID:    0xdeadbeefcafe,
+		SpanBudget: 34,
+		Spans:      spans,
+		Enqueued:   99.5, // driver-local: must NOT survive the wire
+		ServedAt:   99.6,
+	}
+	gq := roundTrip(t, q).(*core.QueryMsg)
+	if gq.TraceID != q.TraceID || gq.SpanBudget != 34 {
+		t.Fatalf("trace header mismatch: %+v", gq)
+	}
+	if !reflect.DeepEqual(gq.Spans, spans) {
+		t.Fatalf("spans mismatch: %+v vs %+v", gq.Spans, spans)
+	}
+	if gq.Enqueued != 0 || gq.ServedAt != 0 {
+		t.Fatalf("driver-local timestamps crossed the wire: %+v", gq)
+	}
+
+	r := &core.ResultMsg{QueryID: 8, Dest: 7, OK: true, Hops: 1, TraceID: q.TraceID, Spans: spans}
+	gr := roundTrip(t, r).(*core.ResultMsg)
+	if gr.TraceID != q.TraceID || !reflect.DeepEqual(gr.Spans, spans) {
+		t.Fatalf("result trace mismatch: %+v", gr)
+	}
+
+	ts := &core.TraceSpanMsg{TraceID: q.TraceID, Span: spans[1], Piggy: samplePiggy()}
+	gt := roundTrip(t, ts).(*core.TraceSpanMsg)
+	if gt.TraceID != q.TraceID || gt.Span != spans[1] {
+		t.Fatalf("trace-span mismatch: %+v", gt)
+	}
+	checkPiggy(t, gt.Piggy, ts.Piggy)
 }
 
 func TestDecodeErrors(t *testing.T) {

@@ -34,6 +34,7 @@ import (
 	"terradir/internal/namespace"
 	"terradir/internal/overlay"
 	"terradir/internal/rng"
+	"terradir/internal/telemetry"
 	"terradir/internal/workload"
 )
 
@@ -158,6 +159,38 @@ type (
 	// FaultOptions configures a FaultTransport.
 	FaultOptions = overlay.FaultOptions
 )
+
+// Telemetry types: the observability subsystem of the live overlay (metrics
+// registry, per-lookup hop tracing, admin HTTP endpoint).
+type (
+	// Registry is a concurrency-safe metrics registry: counters, gauges and
+	// streaming histograms, exportable as Prometheus text and expvar.
+	Registry = telemetry.Registry
+	// HistogramOpts fixes a streaming histogram's log-spaced bucket layout.
+	HistogramOpts = telemetry.HistogramOpts
+	// Span is one hop's record in a per-lookup distributed trace.
+	Span = telemetry.Span
+	// HopReason classifies why a traced hop forwarded (parent/child context,
+	// cached pointer, digest shortcut) or terminated (resolve, fail).
+	HopReason = telemetry.HopReason
+	// TraceRecord is the assembled state of one lookup trace.
+	TraceRecord = telemetry.TraceRecord
+	// TraceStore collects lookup traces at the initiating server, including
+	// truncated traces of queries lost mid-route.
+	TraceStore = telemetry.TraceStore
+	// AdminServer is a running admin HTTP listener (/metrics, /debug/vars,
+	// /debug/pprof, /trace/<id>).
+	AdminServer = telemetry.AdminServer
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// StartAdmin serves a registry and trace store over HTTP on addr (traces may
+// be nil). Close the returned server to stop it.
+func StartAdmin(addr string, reg *Registry, traces *TraceStore) (*AdminServer, error) {
+	return telemetry.StartAdmin(addr, reg, traces)
+}
 
 // OverlayOptions configures NewLocalOverlay.
 type OverlayOptions struct {
