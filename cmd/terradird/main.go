@@ -54,6 +54,12 @@ func main() {
 
 		adminAddr   = flag.String("admin-addr", "", "admin HTTP listen address (/metrics, /debug/vars, /debug/pprof, /trace/<id>); empty disables")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of lookups initiated here that carry a distributed trace (0 disables)")
+
+		join          = flag.String("join", "", "bootstrap off one live peer's address instead of requiring the full -peers list")
+		advertise     = flag.String("advertise", "", "address other peers dial to reach this one (default: the bound listen address; set this when -listen is a wildcard)")
+		probeInterval = flag.Duration("probe-interval", 0, "membership probe period (0 = default 250ms)")
+		suspicion     = flag.Duration("suspicion-timeout", 0, "suspect-to-dead timeout (0 = 4x probe interval)")
+		noMembership  = flag.Bool("no-membership", false, "disable the gossip membership subsystem (static deployment)")
 	)
 	flag.Parse()
 
@@ -61,17 +67,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Fail fast on misconfiguration: a bad -id or -peers list would otherwise
+	// surface only as silent misrouting at runtime.
+	if *servers < 1 {
+		fatal(fmt.Errorf("-servers must be >= 1 (got %d)", *servers))
+	}
 	if *id < 0 || *id >= *servers {
-		fatal(fmt.Errorf("id %d out of range for %d servers", *id, *servers))
+		fatal(fmt.Errorf("-id %d out of range [0,%d) for -servers %d", *id, *servers, *servers))
 	}
 	addrs := map[core.ServerID]string{}
 	if *peerList != "" {
 		for i, a := range strings.Split(*peerList, ",") {
-			addrs[core.ServerID(i)] = strings.TrimSpace(a)
+			a = strings.TrimSpace(a)
+			if a == "" {
+				fatal(fmt.Errorf("-peers entry %d is empty", i))
+			}
+			addrs[core.ServerID(i)] = a
 		}
 	}
-	if len(addrs) != *servers {
-		fatal(fmt.Errorf("-peers lists %d addresses for %d servers", len(addrs), *servers))
+	if *join == "" {
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("either -peers (full static list) or -join (bootstrap address) is required"))
+		}
+		if len(addrs) != *servers {
+			fatal(fmt.Errorf("-peers lists %d addresses for -servers %d; every server needs exactly one address", len(addrs), *servers))
+		}
+	} else if len(addrs) != 0 && len(addrs) != *servers {
+		fatal(fmt.Errorf("-peers lists %d addresses for -servers %d (with -join, omit -peers or list all)", len(addrs), *servers))
 	}
 
 	owner := terradir.AssignOwners(tree, *servers, *seed)
@@ -83,18 +105,6 @@ func main() {
 	}
 	ownerOf := func(nd core.NodeID) core.ServerID { return owner[nd] }
 
-	sample := *traceSample
-	if sample <= 0 {
-		sample = -1 // Options treats 0 as "default to 1"; negative disables
-	}
-	node, err := overlay.NewNode(core.ServerID(*id), tree, owned, ownerOf, overlay.Options{
-		Seed:         *seed + uint64(*id)*7919,
-		ServiceDelay: *svcDelay,
-		TraceSample:  sample,
-	})
-	if err != nil {
-		fatal(err)
-	}
 	transport, err := overlay.NewTCPTransportOpts(core.ServerID(*id), *listen, addrs,
 		terradir.TCPTransportOptions{
 			QueueDepth:   *queueDepth,
@@ -103,6 +113,41 @@ func main() {
 			BackoffMax:   *backoffMax,
 			Seed:         *seed + uint64(*id),
 		})
+	if err != nil {
+		fatal(err)
+	}
+
+	sample := *traceSample
+	if sample <= 0 {
+		sample = -1 // Options treats 0 as "default to 1"; negative disables
+	}
+	nodeOpts := overlay.Options{
+		Seed:         *seed + uint64(*id)*7919,
+		ServiceDelay: *svcDelay,
+		TraceSample:  sample,
+	}
+	if !*noMembership && (*servers > 1 || *join != "") {
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = transport.Addr()
+		}
+		var peers map[core.ServerID]string
+		if *join == "" {
+			peers = addrs
+		}
+		nodeOpts.Membership = &overlay.MembershipOptions{
+			Protocol: terradir.MembershipProtocolOptions{
+				ProbeInterval:    *probeInterval,
+				SuspicionTimeout: *suspicion,
+				Seed:             *seed + uint64(*id)*104729 + 1,
+			},
+			Servers:  *servers,
+			SelfAddr: selfAddr,
+			Peers:    peers,
+			JoinAddr: *join,
+		}
+	}
+	node, err := overlay.NewNode(core.ServerID(*id), tree, owned, ownerOf, nodeOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +161,13 @@ func main() {
 		fmt.Printf("terradird: FAULT INJECTION on: drop=%.2f latency=%s\n", *faultDrop, *faultLatency)
 	}
 	overlay.StartTCPNodeVia(node, transport, send)
+	if nodeOpts.Membership != nil {
+		if *join != "" {
+			fmt.Printf("terradird: membership on, joining via %s\n", *join)
+		} else {
+			fmt.Printf("terradird: membership on (%d static peers)\n", *servers)
+		}
+	}
 	fmt.Printf("terradird: peer %d/%d up on %s; owns %d of %d nodes\n",
 		*id, *servers, transport.Addr(), len(owned), tree.Len())
 

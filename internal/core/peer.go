@@ -59,11 +59,17 @@ type Stats struct {
 	ControlSent      int64 // control (non-query, non-result) messages sent
 	ResultsSent      int64
 	StaleSelfPurged  int64 // self-entries removed from maps for non-hosted nodes
+
+	ServerPurges      int64 // PurgeServer invocations (one per detected death)
+	PurgedEntries     int64 // soft-state references removed by PurgeServer
+	OwnershipAdopts   int64 // nodes provisionally adopted from dead owners
+	OwnershipReleases int64 // adopted nodes handed back to returned owners
 }
 
 type hostedNode struct {
 	id          NodeID
 	owned       bool
+	adopted     bool   // provisional ownership taken over from a dead server
 	hasData     bool   // owners keep node data (Table 1); replicas do not
 	data        []byte // application data (owner only)
 	meta        Meta

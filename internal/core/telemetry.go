@@ -20,6 +20,10 @@ type peerTelemetry struct {
 	highCrossings   *telemetry.Counter
 	lowCrossings    *telemetry.Counter
 	spanReports     *telemetry.Counter
+	serverPurges    *telemetry.Counter
+	purgedEntries   *telemetry.Counter
+	adoptions       *telemetry.Counter
+	releases        *telemetry.Counter
 
 	// aboveHigh tracks which side of the Thigh watermark the load was on at
 	// the last check, so crossings count as edges rather than levels.
@@ -54,6 +58,10 @@ func (p *Peer) AttachTelemetry(reg *telemetry.Registry, labels ...string) {
 		highCrossings:   c("terradir_load_high_watermark_crossings_total", "Times effective load rose across the Thigh watermark."),
 		lowCrossings:    c("terradir_load_low_watermark_crossings_total", "Times effective load fell back below the Thigh watermark."),
 		spanReports:     c("terradir_trace_span_reports_total", "Out-of-band trace span reports sent to query initiators."),
+		serverPurges:    c("terradir_server_purges_total", "Dead-server purges applied to this peer's soft state."),
+		purgedEntries:   c("terradir_purged_entries_total", "Soft-state references removed by dead-server purges."),
+		adoptions:       c("terradir_ownership_adoptions_total", "Namespace nodes provisionally adopted from dead owners."),
+		releases:        c("terradir_ownership_releases_total", "Adopted namespace nodes handed back to returned owners."),
 	}
 }
 

@@ -266,6 +266,52 @@ type DigestUpdate struct {
 	Digest *bloom.Filter
 }
 
+// Membership frame kinds (MembershipMsg.Kind). The SWIM-style protocol these
+// implement lives in internal/membership; the message type lives here because
+// every protocol message must satisfy the unexported Message interface.
+const (
+	// MembershipPing probes a member directly.
+	MembershipPing uint8 = iota + 1
+	// MembershipAck answers a ping (directly or on behalf of a relayed probe;
+	// Target names the member being vouched for).
+	MembershipAck
+	// MembershipPingReq asks a helper to probe Target on the sender's behalf.
+	MembershipPingReq
+	// MembershipJoin asks a live peer to admit the sender into the cluster.
+	MembershipJoin
+	// MembershipJoinAck answers a join with a full membership snapshot.
+	MembershipJoinAck
+	// MembershipWarmup streams replica advertisements (bounded hosted-map
+	// entries) to a newly admitted member so it routes warm from the start.
+	MembershipWarmup
+)
+
+// MemberUpdate is one piggybacked membership delta: a (server, state,
+// incarnation) claim, plus the member's dialable address when known, so
+// address discovery rides the same gossip as liveness.
+type MemberUpdate struct {
+	Server      ServerID
+	State       uint8 // membership.State: 0 alive, 1 suspect, 2 dead
+	Incarnation uint64
+	Addr        string
+}
+
+// MembershipMsg carries the gossip membership protocol: probes, acks,
+// indirect probe requests, the join handshake, and warmup streams. Every
+// message piggybacks a bounded set of MemberUpdates (the SWIM dissemination
+// component). Seq correlates acks with pending probes; Target names the
+// probed member for PingReq/Ack relays.
+type MembershipMsg struct {
+	Kind    uint8
+	Seq     uint64
+	From    ServerID
+	Target  ServerID
+	Updates []MemberUpdate
+	Warmup  []PathEntry
+}
+
+func (*MembershipMsg) kind() string { return "membership" }
+
 // NodeKey converts a node ID to a Bloom digest key. The simulator keys
 // digests by node identity; the wire layer keys by fully-qualified name via
 // bloom.HashString — both are opaque 64-bit keys to the filter.

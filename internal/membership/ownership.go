@@ -1,0 +1,120 @@
+package membership
+
+import (
+	"sync"
+
+	"terradir/internal/core"
+)
+
+// Reassignment records one namespace node changing effective owner after a
+// membership transition.
+type Reassignment struct {
+	Node core.NodeID
+	From core.ServerID
+	To   core.ServerID
+}
+
+// OwnershipTable is the versioned node→owner mapping the overlay routes by
+// under churn. Every node has a base owner from the deployment-wide static
+// assignment; its effective owner is the first *alive* server in ring order
+// starting at the base (base, base+1, … mod servers). Because the base
+// assignment and the ring rule are deterministic, every peer that holds the
+// same liveness view computes the same handoff without any consensus round —
+// disagreement during detection skew is just more soft-state staleness, which
+// the protocol already repairs.
+//
+// The table is safe for concurrent use: the membership service mutates it
+// from event context while lookups read Owner from the routing path.
+type OwnershipTable struct {
+	mu      sync.Mutex
+	base    []core.ServerID
+	alive   []bool
+	eff     []core.ServerID
+	version uint64
+}
+
+// NewOwnershipTable builds a table over the base assignment (index = node ID)
+// for a deployment of the given server count. All servers start alive.
+func NewOwnershipTable(base []core.ServerID, servers int) *OwnershipTable {
+	t := &OwnershipTable{
+		base:  append([]core.ServerID(nil), base...),
+		alive: make([]bool, servers),
+		eff:   append([]core.ServerID(nil), base...),
+	}
+	for i := range t.alive {
+		t.alive[i] = true
+	}
+	return t
+}
+
+// Owner returns the node's current effective owner.
+func (t *OwnershipTable) Owner(nd core.NodeID) core.ServerID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(nd) < 0 || int(nd) >= len(t.eff) {
+		return core.NoServer
+	}
+	return t.eff[nd]
+}
+
+// BaseOwner returns the node's static (pre-churn) owner.
+func (t *OwnershipTable) BaseOwner(nd core.NodeID) core.ServerID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(nd) < 0 || int(nd) >= len(t.base) {
+		return core.NoServer
+	}
+	return t.base[nd]
+}
+
+// Version returns the table's change counter (bumped on every effective
+// liveness flip).
+func (t *OwnershipTable) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Alive reports the table's current liveness belief for a server.
+func (t *OwnershipTable) Alive(s core.ServerID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(s) >= 0 && int(s) < len(t.alive) && t.alive[s]
+}
+
+// SetAlive updates a server's liveness and recomputes effective ownership,
+// returning every node whose owner changed (empty when the flag was already
+// set). A dead server's nodes move to their ring successors; a returning
+// server reclaims its base nodes.
+func (t *OwnershipTable) SetAlive(s core.ServerID, alive bool) []Reassignment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(s) < 0 || int(s) >= len(t.alive) || t.alive[s] == alive {
+		return nil
+	}
+	t.alive[s] = alive
+	t.version++
+	var out []Reassignment
+	for nd, b := range t.base {
+		want := t.successorLocked(b)
+		if want != t.eff[nd] {
+			out = append(out, Reassignment{Node: core.NodeID(nd), From: t.eff[nd], To: want})
+			t.eff[nd] = want
+		}
+	}
+	return out
+}
+
+// successorLocked returns the first alive server in ring order from base, or
+// base itself when the view says nobody is alive (the caller is always alive
+// in its own view, so this only happens in degenerate tests).
+func (t *OwnershipTable) successorLocked(base core.ServerID) core.ServerID {
+	n := len(t.alive)
+	for k := 0; k < n; k++ {
+		c := (int(base) + k) % n
+		if t.alive[c] {
+			return core.ServerID(c)
+		}
+	}
+	return base
+}

@@ -1,0 +1,91 @@
+package membership
+
+import (
+	"testing"
+
+	"terradir/internal/core"
+)
+
+func TestOwnershipHandoffAndReclaim(t *testing.T) {
+	base := []core.ServerID{0, 1, 2, 0, 1, 2}
+	tbl := NewOwnershipTable(base, 3)
+
+	for nd, want := range base {
+		if got := tbl.Owner(core.NodeID(nd)); got != want {
+			t.Fatalf("initial owner(%d) = %d, want %d", nd, got, want)
+		}
+	}
+	if v := tbl.Version(); v != 0 {
+		t.Fatalf("fresh table version = %d, want 0", v)
+	}
+
+	// Kill 1: its nodes (1, 4) hand off to ring successor 2.
+	ch := tbl.SetAlive(1, false)
+	if len(ch) != 2 {
+		t.Fatalf("SetAlive(1,false) moved %d nodes, want 2: %+v", len(ch), ch)
+	}
+	for _, r := range ch {
+		if r.From != 1 || r.To != 2 {
+			t.Errorf("reassignment %+v, want 1→2", r)
+		}
+	}
+	if got := tbl.Owner(1); got != 2 {
+		t.Errorf("owner(1) = %d after killing 1, want 2", got)
+	}
+	if got := tbl.BaseOwner(1); got != 1 {
+		t.Errorf("base owner must stay 1, got %d", got)
+	}
+	if tbl.Alive(1) || !tbl.Alive(2) {
+		t.Error("liveness flags wrong after SetAlive(1,false)")
+	}
+
+	// Kill 2 as well: everything 1- or 2-based wraps around to 0.
+	tbl.SetAlive(2, false)
+	for _, nd := range []core.NodeID{1, 2, 4, 5} {
+		if got := tbl.Owner(nd); got != 0 {
+			t.Errorf("owner(%d) = %d with only 0 alive, want 0", nd, got)
+		}
+	}
+
+	// 1 returns: it reclaims exactly its base nodes; 2's stay handed off.
+	ch = tbl.SetAlive(1, true)
+	for _, r := range ch {
+		if r.To != 1 || tbl.BaseOwner(r.Node) != 1 {
+			t.Errorf("reclaim reassignment %+v not a base node of 1", r)
+		}
+	}
+	if got := tbl.Owner(4); got != 1 {
+		t.Errorf("owner(4) = %d after 1 returned, want 1", got)
+	}
+	if got := tbl.Owner(5); got != 0 {
+		t.Errorf("owner(5) = %d while 2 is still dead, want 0", got)
+	}
+
+	if v := tbl.Version(); v != 3 {
+		t.Errorf("version = %d after three flips, want 3", v)
+	}
+
+	// Redundant flips are no-ops.
+	if ch := tbl.SetAlive(1, true); ch != nil {
+		t.Errorf("redundant SetAlive returned %+v, want nil", ch)
+	}
+	if v := tbl.Version(); v != 3 {
+		t.Errorf("version bumped by redundant flip: %d", v)
+	}
+}
+
+func TestOwnershipOutOfRange(t *testing.T) {
+	tbl := NewOwnershipTable([]core.ServerID{0, 1}, 2)
+	if got := tbl.Owner(99); got != core.NoServer {
+		t.Errorf("owner(99) = %d, want NoServer", got)
+	}
+	if got := tbl.BaseOwner(-1); got != core.NoServer {
+		t.Errorf("baseOwner(-1) = %d, want NoServer", got)
+	}
+	if tbl.Alive(5) {
+		t.Error("out-of-range server reported alive")
+	}
+	if ch := tbl.SetAlive(9, false); ch != nil {
+		t.Errorf("SetAlive out of range returned %+v", ch)
+	}
+}

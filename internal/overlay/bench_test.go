@@ -1,0 +1,68 @@
+package overlay
+
+import (
+	"context"
+	"testing"
+
+	"terradir/internal/core"
+)
+
+// benchCluster boots a local overlay and pre-warms the caches so the
+// benchmark measures steady-state routing, not cold-start path propagation.
+func benchCluster(b *testing.B, servers int) *LocalCluster {
+	b.Helper()
+	tree := testTree()
+	c, err := NewLocalCluster(tree, LocalClusterOptions{Servers: servers, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.StopAll)
+	ctx := context.Background()
+	for i := 0; i < 2*tree.Len(); i++ {
+		if _, err := c.Lookup(ctx, i%servers, core.NodeID((i*7919+3)%tree.Len())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkLookupThroughput measures sequential end-to-end lookup latency on
+// the live in-process overlay (one goroutine per server, real event loops and
+// channels — the protocol path a TCP deployment runs minus the sockets).
+func BenchmarkLookupThroughput(b *testing.B) {
+	c := benchCluster(b, 8)
+	n := c.Tree().Len()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Lookup(ctx, i%8, core.NodeID((i*7919+3)%n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("lookup failed: %+v", res)
+		}
+	}
+}
+
+// BenchmarkLookupThroughputParallel is the same workload issued from many
+// client goroutines at once — the aggregate throughput figure.
+func BenchmarkLookupThroughputParallel(b *testing.B) {
+	c := benchCluster(b, 8)
+	n := c.Tree().Len()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		i := 0
+		for pb.Next() {
+			i++
+			res, err := c.Lookup(ctx, i%8, core.NodeID((i*104729+1)%n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.OK {
+				b.Fatalf("lookup failed: %+v", res)
+			}
+		}
+	})
+}

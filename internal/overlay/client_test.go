@@ -1,0 +1,111 @@
+package overlay
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"terradir/internal/core"
+)
+
+// Tests for the client-side operations (Get / fetchData / Search) beyond the
+// happy paths covered in overlay_test.go: replica misses, dead hosts,
+// timeouts and cancellation.
+
+func TestFetchDataReplicaMiss(t *testing.T) {
+	c := startLocal(t, 4, nil)
+	target := core.NodeID(10)
+	owner := c.OwnerOf(target)
+	nonOwner := core.ServerID((int(owner) + 1) % 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// A live server that does not hold the data answers OK=false, which the
+	// client classifies as errNoData (distinct from a transport failure).
+	_, err := c.Node(int((owner+2)%4)).fetchData(ctx, nonOwner, target)
+	if !errors.Is(err, errNoData) {
+		t.Fatalf("fetchData from non-owner: %v, want errNoData", err)
+	}
+}
+
+func TestFetchDataLocalFastPath(t *testing.T) {
+	c := startLocal(t, 4, nil)
+	target := core.NodeID(10)
+	owner := c.OwnerOf(target)
+	ctx := context.Background()
+	// Local miss: the owner itself, but nothing stored.
+	if _, err := c.Node(int(owner)).fetchData(ctx, owner, target); !errors.Is(err, errNoData) {
+		t.Fatalf("local miss: %v, want errNoData", err)
+	}
+}
+
+func TestFetchDataTimeoutOnDeadHost(t *testing.T) {
+	c := startLocal(t, 4, func(o *LocalClusterOptions) {
+		o.Fault = &FaultOptions{}
+		o.Node.DataTimeout = 150 * time.Millisecond
+	})
+	target := core.NodeID(10)
+	owner := c.OwnerOf(target)
+	c.Fault().Crash(owner)
+	from := int((owner + 1) % 4)
+	start := time.Now()
+	_, err := c.Node(from).fetchData(context.Background(), owner, target)
+	if err == nil || errors.Is(err, errNoData) {
+		t.Fatalf("fetchData to crashed host: %v, want timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, DataTimeout not honored", elapsed)
+	}
+}
+
+func TestFetchDataContextCancel(t *testing.T) {
+	c := startLocal(t, 4, func(o *LocalClusterOptions) {
+		o.Fault = &FaultOptions{}
+		o.Node.DataTimeout = time.Minute // the context must win
+	})
+	target := core.NodeID(10)
+	owner := c.OwnerOf(target)
+	c.Fault().Crash(owner)
+	from := int((owner + 1) % 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Node(from).fetchData(ctx, owner, target)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fetchData: %v, want context.Canceled", err)
+	}
+}
+
+func TestGetSurfacesLookupFailure(t *testing.T) {
+	c := startLocal(t, 4, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, _, err := c.Node(0).Get(ctx, core.NodeID(c.Tree().Len()+5)); err == nil {
+		t.Fatal("Get of an out-of-range node succeeded")
+	}
+}
+
+func TestSearchDepthZero(t *testing.T) {
+	c := startLocal(t, 4, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	name := c.Tree().Name(0) // the root
+	out, err := c.Node(0).Search(ctx, name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Depth != 0 || !out[0].OK || out[0].Node != 0 {
+		t.Fatalf("depth-0 search: %+v", out)
+	}
+}
+
+func TestSearchRespectsContext(t *testing.T) {
+	c := startLocal(t, 4, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the first lookup must fail and surface the error
+	if _, err := c.Node(0).Search(ctx, c.Tree().Name(0), 3, 0); err == nil {
+		t.Fatal("search with a cancelled context succeeded")
+	}
+}

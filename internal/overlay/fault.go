@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,6 +175,24 @@ func (f *FaultTransport) Send(from, to core.ServerID, m core.Message) error {
 
 // Close closes the wrapped transport.
 func (f *FaultTransport) Close() error { return f.inner.Close() }
+
+// SetAddr forwards runtime address learning to the wrapped transport when it
+// supports it, so membership address discovery works through fault wrappers.
+func (f *FaultTransport) SetAddr(id core.ServerID, addr string) {
+	if as, ok := f.inner.(AddrSetter); ok {
+		as.SetAddr(id, addr)
+	}
+}
+
+// SendTo forwards address-directed sends (the join bootstrap path) to the
+// wrapped transport. Note crash/partition faults are keyed by server ID and
+// do not apply here: a join targets an address, not a known member.
+func (f *FaultTransport) SendTo(addr string, m core.Message) error {
+	if ds, ok := f.inner.(AddrSender); ok {
+		return ds.SendTo(addr, m)
+	}
+	return fmt.Errorf("overlay: wrapped transport cannot send by address")
+}
 
 // Stats reports the wrapped transport's counters (zero if it exports none)
 // with this wrapper's injected drops added.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"terradir/internal/core"
+	"terradir/internal/membership"
 	"terradir/internal/namespace"
 )
 
@@ -64,6 +65,11 @@ type LocalClusterOptions struct {
 	// Fault, when non-nil, wraps the cluster's transport in a FaultTransport
 	// with these options (retrieve it with Fault for runtime fault control).
 	Fault *FaultOptions
+	// Membership, when non-nil, runs the gossip membership subsystem on every
+	// node with these protocol options (all servers statically seeded as the
+	// initial member set). Combine with Fault to exercise failure detection
+	// and ownership handoff in-process.
+	Membership *membership.Options
 }
 
 // NewLocalCluster builds and starts a local overlay over the namespace.
@@ -89,9 +95,25 @@ func NewLocalCluster(tree *namespace.Tree, opts LocalClusterOptions) (*LocalClus
 	for nd, s := range c.owner {
 		ownedBy[s] = append(ownedBy[s], core.NodeID(nd))
 	}
+	var staticPeers map[core.ServerID]string
+	if opts.Membership != nil {
+		staticPeers = make(map[core.ServerID]string, opts.Servers)
+		for i := 0; i < opts.Servers; i++ {
+			staticPeers[core.ServerID(i)] = "" // LocalTransport routes by ID
+		}
+	}
 	for i := 0; i < opts.Servers; i++ {
 		nodeOpts := opts.Node
 		nodeOpts.Seed = opts.Seed + uint64(i)*7919
+		if opts.Membership != nil {
+			proto := *opts.Membership
+			proto.Seed = opts.Seed + uint64(i)*104729 + 1
+			nodeOpts.Membership = &MembershipOptions{
+				Protocol: proto,
+				Servers:  opts.Servers,
+				Peers:    staticPeers,
+			}
+		}
 		n, err := NewNode(core.ServerID(i), tree, ownedBy[i], ownerOf, nodeOpts)
 		if err != nil {
 			c.StopAll()

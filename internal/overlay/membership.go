@@ -1,0 +1,168 @@
+package overlay
+
+import (
+	"fmt"
+
+	"terradir/internal/core"
+	"terradir/internal/membership"
+)
+
+// MembershipOptions enables the gossip membership subsystem on a node. With
+// it, the node runs a SWIM-style failure detector over its transport, routes
+// by a versioned ownership table instead of the static assignment, purges
+// soft state naming dead servers, adopts dead peers' partitions when it is
+// the designated ring successor, and admits (and warms up) joining servers.
+type MembershipOptions struct {
+	// Protocol tunes the probe/suspicion cycle.
+	Protocol membership.Options
+	// Servers is the deployment's server-ID space size. Required.
+	Servers int
+	// SelfAddr is the address other peers can dial this node's transport on;
+	// it disseminates by gossip so joiners become reachable. May be empty for
+	// transports that route by ID alone (LocalTransport).
+	SelfAddr string
+	// Peers seeds the member table with the statically known deployment
+	// (addresses may be empty). Leave nil when bootstrapping via JoinAddr.
+	Peers map[core.ServerID]string
+	// JoinAddr bootstraps membership off one live peer instead of Peers
+	// (requires a transport with SendTo, i.e. TCPTransport).
+	JoinAddr string
+	// WarmupEntries bounds the hosted-map entries streamed to a newly
+	// admitted member. 0 means the default 32; negative disables warmup.
+	WarmupEntries int
+}
+
+// AddrSetter is implemented by transports that can learn peer addresses at
+// runtime (TCPTransport); the membership subsystem uses it so joiners and
+// restarted peers become dialable without reconstruction.
+type AddrSetter interface {
+	SetAddr(id core.ServerID, addr string)
+}
+
+// AddrSender is implemented by transports that can send to an explicit
+// address before the destination's server-ID→address mapping is known — the
+// join bootstrap path.
+type AddrSender interface {
+	SendTo(addr string, m core.Message) error
+}
+
+const defaultWarmupEntries = 32
+
+// setupOwnership builds the node's versioned ownership table from the static
+// assignment (called from NewNode when membership is enabled).
+func (n *Node) setupOwnership(ownerOf func(core.NodeID) core.ServerID) {
+	base := make([]core.ServerID, n.tree.Len())
+	for i := range base {
+		base[i] = ownerOf(core.NodeID(i))
+	}
+	n.ownership = membership.NewOwnershipTable(base, n.opts.Membership.Servers)
+	n.reg.GaugeFunc("terradir_ownership_version",
+		"Version of the node's ownership table (bumped per liveness flip).",
+		func() float64 { return float64(n.ownership.Version()) },
+		"server", fmt.Sprint(n.id))
+}
+
+// startMembership launches the failure detector (called from Start, after
+// the transport is wired).
+func (n *Node) startMembership() {
+	mo := n.opts.Membership
+	cfg := membership.Config{
+		Self:     n.id,
+		SelfAddr: mo.SelfAddr,
+		Peers:    mo.Peers,
+		JoinAddr: mo.JoinAddr,
+		Options:  mo.Protocol,
+		Registry: n.reg,
+		Labels:   []string{"server", fmt.Sprint(n.id)},
+		Send: func(to core.ServerID, m *core.MembershipMsg) {
+			_ = n.transport.Send(n.id, to, m) // soft state: losses tolerated
+		},
+		OnEvent: func(ev membership.Event) {
+			// Funnel into the event loop: the peer is single-threaded.
+			select {
+			case n.control <- envelope{fn: func() { n.handleMembershipEvent(ev) }}:
+			case <-n.stop:
+			}
+		},
+	}
+	if as, ok := n.transport.(AddrSetter); ok {
+		cfg.OnAddr = as.SetAddr
+	}
+	if ds, ok := n.transport.(AddrSender); ok {
+		cfg.SendAddr = func(addr string, m *core.MembershipMsg) error {
+			return ds.SendTo(addr, m)
+		}
+	}
+	n.membership = membership.New(cfg)
+	n.membership.Start()
+}
+
+// handleMembershipEvent runs in the node's event loop: it folds a liveness
+// transition into the ownership table, repairs soft state, and applies any
+// partition handoff that lands on (or leaves) this server.
+func (n *Node) handleMembershipEvent(ev membership.Event) {
+	if n.ownership == nil || ev.ID == n.id {
+		return
+	}
+	switch ev.State {
+	case membership.Dead:
+		changes := n.ownership.SetAlive(ev.ID, false)
+		// Soft-state repair: drop every cached/replicated reference to the
+		// dead server, reseeding emptied maps from the post-handoff owner.
+		n.peer.PurgeServer(ev.ID, n.ownership.Owner)
+		n.applyReassignments(changes)
+	case membership.Alive:
+		changes := n.ownership.SetAlive(ev.ID, true)
+		n.applyReassignments(changes)
+		if ev.Joined || ev.Prev == membership.Dead {
+			// A newly admitted or returned member starts cold: stream it a
+			// bounded slice of our hottest hosted maps (which also announces
+			// our own owned-partition claim to a joiner).
+			n.sendWarmup(ev.ID)
+		}
+	}
+}
+
+// applyReassignments adopts or releases provisional ownership for every
+// handoff that involves this server. Other servers' handoffs need no local
+// action beyond the ownership table itself (routing consults it lazily).
+func (n *Node) applyReassignments(changes []membership.Reassignment) {
+	for _, ch := range changes {
+		switch {
+		case ch.To == n.id:
+			n.peer.AdoptOwnership(ch.Node, n.ownership.Owner)
+		case ch.From == n.id:
+			n.peer.ReleaseOwnership(ch.Node)
+		}
+	}
+}
+
+// sendWarmup ships a warmup frame (bounded ranked hosted maps) to a member.
+// Runs in the event loop; the peer state is read synchronously.
+func (n *Node) sendWarmup(to core.ServerID) {
+	if to == n.id {
+		return
+	}
+	max := n.opts.Membership.WarmupEntries
+	if max == 0 {
+		max = defaultWarmupEntries
+	}
+	if max < 0 {
+		return
+	}
+	entries := n.peer.BuildWarmup(max)
+	if len(entries) == 0 {
+		return
+	}
+	_ = n.transport.Send(n.id, to, &core.MembershipMsg{
+		Kind: core.MembershipWarmup, From: n.id, Warmup: entries,
+	})
+}
+
+// Membership returns the node's membership service (nil when the subsystem
+// is disabled).
+func (n *Node) Membership() *membership.Service { return n.membership }
+
+// Ownership returns the node's versioned ownership table (nil when
+// membership is disabled).
+func (n *Node) Ownership() *membership.OwnershipTable { return n.ownership }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"terradir/internal/core"
+	"terradir/internal/membership"
 	"terradir/internal/namespace"
 	"terradir/internal/rng"
 	"terradir/internal/sim"
@@ -52,6 +53,10 @@ type Options struct {
 	// TraceCap bounds the node's retained trace records
 	// (telemetry.DefaultTraceCap if 0).
 	TraceCap int
+	// Membership, when non-nil, runs the gossip membership subsystem: SWIM
+	// failure detection, versioned ownership handoff, soft-state purging of
+	// dead servers, and join/warmup admission. See MembershipOptions.
+	Membership *MembershipOptions
 }
 
 func (o *Options) fill(id core.ServerID) {
@@ -171,6 +176,9 @@ type Node struct {
 	reg    *telemetry.Registry
 	traces *telemetry.TraceStore
 
+	membership *membership.Service
+	ownership  *membership.OwnershipTable
+
 	inboxDrops    *telemetry.Counter
 	queueWaitHist *telemetry.Histogram
 	serviceHist   *telemetry.Histogram
@@ -251,6 +259,12 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 	n.hopsHist = n.reg.Histogram("terradir_lookup_hops",
 		"Hop count of lookups initiated at this server.",
 		telemetry.HistogramOpts{Min: 1, Max: 100, BucketsPerDecade: 16}, server...)
+	if opts.Membership != nil {
+		if opts.Membership.Servers < 1 {
+			return nil, fmt.Errorf("overlay: MembershipOptions.Servers = %d", opts.Membership.Servers)
+		}
+		n.setupOwnership(ownerOf)
+	}
 	return n, nil
 }
 
@@ -266,8 +280,32 @@ func (n *Node) Traces() *telemetry.TraceStore { return n.traces }
 func (n *Node) ID() core.ServerID { return n.id }
 
 // Peer exposes the underlying protocol state machine. It must only be
-// inspected while the node is stopped (the loop owns it while running).
+// inspected while the node is stopped (the loop owns it while running); on a
+// running node use Inspect instead.
 func (n *Node) Peer() *core.Peer { return n.peer }
+
+// Inspect runs fn inside the node's event loop, synchronously. It is the safe
+// way to read (or poke) the single-threaded peer state while the node runs.
+// Returns false if the node stopped before fn could execute.
+func (n *Node) Inspect(fn func(p *core.Peer)) bool {
+	done := make(chan struct{})
+	select {
+	case n.control <- envelope{fn: func() { fn(n.peer); close(done) }}:
+	case <-n.stop:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-n.stop:
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
 
 // InboxDropped returns the number of queries discarded by the bounded inbox
 // — the server's own admission control, distinct from TransportStats
@@ -289,6 +327,9 @@ func (n *Node) Start() {
 	}
 	n.registerTransportMetrics()
 	go n.loop()
+	if n.opts.Membership != nil {
+		n.startMembership()
+	}
 }
 
 // registerTransportMetrics exports the transport's counters through the
@@ -328,8 +369,12 @@ func (n *Node) registerTransportMetrics() {
 		func() float64 { return float64(sr.Stats().QueueDepth) }, server...)
 }
 
-// Stop terminates the event loop and waits for it to exit.
+// Stop terminates the membership service (if any) and the event loop,
+// waiting for both to exit.
 func (n *Node) Stop() {
+	if n.membership != nil {
+		n.membership.Stop()
+	}
 	select {
 	case <-n.stop:
 	default:
@@ -428,6 +473,19 @@ func (n *Node) Deliver(m core.Message) {
 		default:
 			n.dropped.Add(1)
 			n.inboxDrops.Inc()
+		}
+	case *core.MembershipMsg:
+		if msg.Kind == core.MembershipWarmup {
+			// Warmup streams are routing state, not liveness: absorb them on
+			// the event loop, where the peer may be touched.
+			select {
+			case n.control <- envelope{fn: func() { n.peer.LearnMaps(msg.Warmup) }}:
+			case <-n.stop:
+			}
+			return
+		}
+		if n.membership != nil {
+			n.membership.Deliver(msg)
 		}
 	default:
 		select {

@@ -209,6 +209,7 @@ func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
 			t:       t,
 			addr:    addr,
 			notify:  make(chan struct{}, 1),
+			quit:    make(chan struct{}),
 			backoff: t.opts.BackoffMin,
 			jitter:  rng.New(t.opts.Seed ^ uint64(to)*0xd1b54a32d192ed03),
 		}
@@ -221,6 +222,67 @@ func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
 	if dropped := p.push(data); dropped > 0 {
 		t.ctr.queueDrops.Add(uint64(dropped))
 	}
+	return nil
+}
+
+// SetAddr records (or replaces) a peer's dialable address at runtime — the
+// membership subsystem's address-discovery hook, letting joiners and
+// restarted peers be reached without reconstructing the transport. A changed
+// address retires the peer's current sender (its queued frames are lost,
+// which soft state tolerates); the next Send builds a fresh one. The addrs
+// map passed at construction must not be shared with another transport when
+// SetAddr is in use.
+func (t *TCPTransport) SetAddr(id core.ServerID, addr string) {
+	if id == t.self || addr == "" {
+		return
+	}
+	t.mu.Lock()
+	if t.closed || t.addrs[id] == addr {
+		t.mu.Unlock()
+		return
+	}
+	t.addrs[id] = addr
+	p := t.peers[id]
+	if p != nil {
+		delete(t.peers, id)
+	}
+	t.mu.Unlock()
+	if p != nil {
+		p.retire()
+	}
+}
+
+// SendTo dials addr directly and writes m as a single frame — the join
+// bootstrap path, used before the destination's server-ID→address mapping is
+// known. Unlike Send it blocks for up to the dial and write timeouts.
+func (t *TCPTransport) SendTo(addr string, m core.Message) error {
+	data, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	if len(data) > wire.MaxFrame {
+		return fmt.Errorf("overlay: message for %s: %w (%d bytes)", addr, wire.ErrFrameSize, len(data))
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("overlay: transport closed")
+	}
+	t.mu.Unlock()
+	d := net.Dialer{Timeout: t.opts.DialTimeout}
+	conn, err := d.DialContext(t.dialCtx, "tcp", addr)
+	if err != nil {
+		t.ctr.dialErrors.Add(1)
+		return err
+	}
+	defer conn.Close()
+	t.ctr.dials.Add(1)
+	conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if err := wire.WriteFrame(conn, data); err != nil {
+		t.ctr.writeErrors.Add(1)
+		return err
+	}
+	t.ctr.sent.Add(1)
 	return nil
 }
 
@@ -278,6 +340,7 @@ type peerSender struct {
 	mu     sync.Mutex
 	queue  [][]byte
 	notify chan struct{}
+	quit   chan struct{} // closed when the sender is retired (address change)
 
 	// cmu guards nc, which Close pokes from outside the writer goroutine.
 	cmu sync.Mutex
@@ -326,6 +389,8 @@ func (p *peerSender) next() ([]byte, bool) {
 		p.mu.Unlock()
 		select {
 		case <-p.notify:
+		case <-p.quit:
+			return nil, false
 		case <-p.t.stop:
 			return nil, false
 		}
@@ -342,6 +407,9 @@ func (p *peerSender) run() {
 		}
 		p.deliver(data)
 		select {
+		case <-p.quit:
+			p.closeConn()
+			return
 		case <-p.t.stop:
 			p.closeConn()
 			return
@@ -387,6 +455,8 @@ func (p *peerSender) connect() (net.Conn, bool) {
 	if err != nil {
 		p.t.ctr.dialErrors.Add(1)
 		select {
+		case <-p.quit:
+			return nil, false
 		case <-p.t.stop:
 			return nil, false
 		default:
@@ -401,6 +471,8 @@ func (p *peerSender) connect() (net.Conn, bool) {
 		select {
 		case <-timer.C:
 			return nil, true
+		case <-p.quit:
+			return nil, false
 		case <-p.t.stop:
 			return nil, false
 		}
@@ -421,6 +493,14 @@ func (p *peerSender) conn() net.Conn {
 	p.cmu.Lock()
 	defer p.cmu.Unlock()
 	return p.nc
+}
+
+// retire terminates a sender whose address was superseded: its writer
+// goroutine exits and its connection closes. Called at most once, by SetAddr,
+// after the sender is removed from the peers map.
+func (p *peerSender) retire() {
+	close(p.quit)
+	p.closeConn()
 }
 
 func (p *peerSender) closeConn() {

@@ -1,9 +1,11 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"terradir/internal/core"
+	"terradir/internal/telemetry"
 )
 
 // FuzzDecode asserts that arbitrary bytes never panic the message decoder —
@@ -19,6 +21,12 @@ func FuzzDecode(f *testing.F) {
 		&core.ReplicateReply{Session: core.ServerSession{ID: 1, From: 2}},
 		&core.DataRequest{ReqID: 1, Node: 2, From: 3},
 		&core.DataReply{ReqID: 1, Node: 2, OK: true, Data: []byte{1}},
+		&core.TraceSpanMsg{TraceID: 7, Piggy: samplePiggy(),
+			Span: telemetry.Span{Seq: 1, Server: 2, Node: 3, ServiceMicros: 40}},
+		&core.MembershipMsg{Kind: core.MembershipPing, Seq: 9, From: 1, Target: 2,
+			Updates: []core.MemberUpdate{{Server: 2, State: 1, Incarnation: 3, Addr: "h:1"}}},
+		&core.MembershipMsg{Kind: core.MembershipWarmup, From: 1,
+			Warmup: []core.PathEntry{{Node: 4, Map: core.SingleServerMap(1)}}},
 	}
 	for _, m := range seeds {
 		data, err := Encode(m)
@@ -38,6 +46,31 @@ func FuzzDecode(f *testing.F) {
 		if err == nil {
 			if _, err2 := Encode(msg); err2 != nil {
 				t.Fatalf("decoded message failed to re-encode: %v", err2)
+			}
+		}
+	})
+}
+
+// FuzzReadFrame asserts the frame reader never panics or over-allocates on an
+// arbitrary byte stream (truncated headers, hostile lengths, trailing junk).
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("frame of %d bytes exceeds MaxFrame", len(payload))
 			}
 		}
 	})

@@ -23,7 +23,10 @@ import (
 // fields to query/result frames and the trace-span message kind; version-1
 // frames decode fine (gob tolerates absent fields), but version-1 decoders
 // reject kindTraceSpan frames, so mixed deployments must not enable tracing.
-const Version = 2
+// Version 3 added the membership frame kind (gossip failure detection and
+// join/leave); version-2 decoders likewise reject it, so mixed deployments
+// must not enable the membership subsystem.
+const Version = 3
 
 // Message kind tags.
 const (
@@ -35,7 +38,8 @@ const (
 	kindReplicateReply
 	kindDataRequest
 	kindDataReply
-	kindTraceSpan // wire version 2
+	kindTraceSpan  // wire version 2
+	kindMembership // wire version 3
 )
 
 // MaxFrame bounds accepted frame sizes (1 MiB) to protect against corrupt or
@@ -133,6 +137,15 @@ type wireDataReply struct {
 	Piggy wirePiggy
 }
 
+type wireMembership struct {
+	Kind    uint8
+	Seq     uint64
+	From    int32
+	Target  int32
+	Updates []core.MemberUpdate
+	Warmup  []core.PathEntry
+}
+
 type wireReplicateReply struct {
 	SessionID uint64
 	From      int32
@@ -211,6 +224,12 @@ func Encode(m core.Message) ([]byte, error) {
 	case *core.DataReply:
 		kind = kindDataReply
 		payload = wireDataReply{ReqID: v.ReqID, Node: int32(v.Node), OK: v.OK, Data: v.Data, From: int32(v.From), Piggy: packPiggy(v.Piggy)}
+	case *core.MembershipMsg:
+		kind = kindMembership
+		payload = wireMembership{
+			Kind: v.Kind, Seq: v.Seq, From: int32(v.From), Target: int32(v.Target),
+			Updates: v.Updates, Warmup: v.Warmup,
+		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %T", m)
 	}
@@ -326,6 +345,15 @@ func Decode(data []byte) (core.Message, error) {
 			return nil, err
 		}
 		return &core.DataReply{ReqID: w.ReqID, Node: core.NodeID(w.Node), OK: w.OK, Data: w.Data, From: core.ServerID(w.From), Piggy: pg}, nil
+	case kindMembership:
+		var w wireMembership
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("wire: decode membership: %w", err)
+		}
+		return &core.MembershipMsg{
+			Kind: w.Kind, Seq: w.Seq, From: core.ServerID(w.From), Target: core.ServerID(w.Target),
+			Updates: w.Updates, Warmup: w.Warmup,
+		}, nil
 	case kindTraceSpan:
 		var w wireTraceSpan
 		if err := dec.Decode(&w); err != nil {

@@ -317,3 +317,36 @@ func TestDataMessagesRoundTrip(t *testing.T) {
 		t.Fatalf("negative data reply mismatch: %+v", gm)
 	}
 }
+
+func TestMembershipRoundTrip(t *testing.T) {
+	m := &core.MembershipMsg{
+		Kind:   core.MembershipAck,
+		Seq:    77,
+		From:   3,
+		Target: 9,
+		Updates: []core.MemberUpdate{
+			{Server: 1, State: 0, Incarnation: 4, Addr: "10.0.0.1:7100"},
+			{Server: 2, State: 2, Incarnation: 0},
+		},
+	}
+	got := roundTrip(t, m).(*core.MembershipMsg)
+	if got.Kind != m.Kind || got.Seq != m.Seq || got.From != m.From || got.Target != m.Target {
+		t.Fatalf("membership header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Updates, m.Updates) {
+		t.Fatalf("updates mismatch: %+v vs %+v", got.Updates, m.Updates)
+	}
+
+	w := &core.MembershipMsg{
+		Kind: core.MembershipWarmup,
+		From: 5,
+		Warmup: []core.PathEntry{
+			{Node: 2, Map: core.NodeMap{Servers: []core.ServerID{5, 1}, NumAdvertised: 1}},
+			{Node: 8, Map: core.SingleServerMap(5)},
+		},
+	}
+	gw := roundTrip(t, w).(*core.MembershipMsg)
+	if gw.Kind != core.MembershipWarmup || !reflect.DeepEqual(gw.Warmup, w.Warmup) {
+		t.Fatalf("warmup mismatch: %+v vs %+v", gw, w)
+	}
+}

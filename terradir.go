@@ -31,6 +31,7 @@ import (
 	"terradir/internal/cluster"
 	"terradir/internal/core"
 	"terradir/internal/exp"
+	"terradir/internal/membership"
 	"terradir/internal/namespace"
 	"terradir/internal/overlay"
 	"terradir/internal/rng"
@@ -160,6 +161,35 @@ type (
 	FaultOptions = overlay.FaultOptions
 )
 
+// Membership types: the dynamic-membership subsystem (SWIM-style gossip
+// failure detection, versioned ownership handoff, join/warmup).
+type (
+	// Membership is a running gossip failure detector.
+	Membership = membership.Service
+	// MembershipProtocolOptions tunes the probe/suspicion cycle (probe
+	// interval and timeout, indirect probe fan-out, suspicion timeout,
+	// piggyback budget); zero values mean defaults.
+	MembershipProtocolOptions = membership.Options
+	// MembershipOptions enables the membership subsystem on a live node.
+	MembershipOptions = overlay.MembershipOptions
+	// MemberState is a member's liveness state (Alive, Suspect, Dead).
+	MemberState = membership.State
+	// Member is one row of the membership table.
+	Member = membership.Member
+	// MembershipEvent reports a member's state transition.
+	MembershipEvent = membership.Event
+	// OwnershipTable maps namespace nodes to their current effective owner,
+	// re-pointing each dead owner's partition at its ring successor.
+	OwnershipTable = membership.OwnershipTable
+)
+
+// Member liveness states.
+const (
+	MemberAlive   = membership.Alive
+	MemberSuspect = membership.Suspect
+	MemberDead    = membership.Dead
+)
+
 // Telemetry types: the observability subsystem of the live overlay (metrics
 // registry, per-lookup hop tracing, admin HTTP endpoint).
 type (
@@ -204,6 +234,10 @@ type OverlayOptions struct {
 	// FaultTransport with these options; retrieve it with Overlay.Fault to
 	// crash peers or partition the deployment at runtime.
 	Fault *FaultOptions
+	// Membership, when non-nil, runs the gossip membership subsystem on
+	// every peer with these protocol options. Combine with Fault to watch
+	// failure detection and ownership handoff in-process.
+	Membership *MembershipProtocolOptions
 }
 
 // NewLocalOverlay builds and starts a live in-process overlay over the
@@ -213,10 +247,11 @@ func NewLocalOverlay(tree *Tree, opts OverlayOptions) (*Overlay, error) {
 		return nil, fmt.Errorf("terradir: nil namespace")
 	}
 	return overlay.NewLocalCluster(tree, overlay.LocalClusterOptions{
-		Servers: opts.Servers,
-		Seed:    opts.Seed,
-		Node:    opts.Node,
-		Fault:   opts.Fault,
+		Servers:    opts.Servers,
+		Seed:       opts.Seed,
+		Node:       opts.Node,
+		Fault:      opts.Fault,
+		Membership: opts.Membership,
 	})
 }
 
