@@ -173,10 +173,16 @@ func (f *Filter) Union(other *Filter) error {
 // Marshal serializes the filter to a compact byte slice (version, k, mBits,
 // n, then the bit array little-endian).
 func (f *Filter) Marshal() []byte {
-	buf := make([]byte, 0, 32+len(f.bits)*8)
+	return f.AppendTo(make([]byte, 0, 32+len(f.bits)*8))
+}
+
+// AppendTo appends Marshal's layout to dst and returns the extended slice,
+// so callers embedding digests in larger frames serialize without an
+// intermediate allocation.
+func (f *Filter) AppendTo(dst []byte) []byte {
 	put := func(v uint64) {
 		for i := 0; i < 8; i++ {
-			buf = append(buf, byte(v>>(8*i)))
+			dst = append(dst, byte(v>>(8*i)))
 		}
 	}
 	put(f.version)
@@ -186,7 +192,7 @@ func (f *Filter) Marshal() []byte {
 	for _, w := range f.bits {
 		put(w)
 	}
-	return buf
+	return dst
 }
 
 // Unmarshal reconstructs a filter serialized by Marshal.

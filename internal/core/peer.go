@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"terradir/internal/bloom"
 	"terradir/internal/namespace"
@@ -78,6 +79,9 @@ type hostedNode struct {
 	weight      float64 // load-based ranking counter (§3.2), decayed lazily
 	weightT     float64 // time of last decay
 	lastUsed    float64
+	// fastTouch accumulates query charges from the lock-free snapshot fast
+	// path; the loop folds it into weight/lastUsed (foldFastTouches).
+	fastTouch atomic.Int64
 }
 
 type neighborMapEntry struct {
@@ -146,6 +150,11 @@ type Peer struct {
 	Stats Stats
 
 	tel *peerTelemetry // nil until AttachTelemetry
+
+	// snap is the published copy-on-write routing snapshot (see snapshot.go);
+	// fast is the atomic counter ledger of queries served on it off-loop.
+	snap atomic.Pointer[RouteSnapshot]
+	fast fastStats
 
 	scratchPath []NodeID // reusable buffer
 }
@@ -571,6 +580,7 @@ func (p *Peer) outgoingMap(node NodeID) NodeMap {
 // (§3.5). The driver (cluster or overlay) calls it every
 // cfg.MaintainInterval seconds.
 func (p *Peer) Maintain() {
+	p.foldFastTouches()
 	now := p.env.Now()
 	if p.cfg.AdaptiveThigh {
 		sum, n := 0.0, 0
@@ -638,6 +648,7 @@ func (p *Peer) evictReplica(node NodeID) bool {
 // rankHosted returns hosted nodes ordered by decayed weight, heaviest first
 // (ties by node id for determinism).
 func (p *Peer) rankHosted() []*hostedNode {
+	p.foldFastTouches()
 	ranked := append([]*hostedNode(nil), p.hostedList...)
 	sort.SliceStable(ranked, func(i, j int) bool {
 		wi, wj := p.decayedWeight(ranked[i]), p.decayedWeight(ranked[j])
@@ -652,6 +663,7 @@ func (p *Peer) rankHosted() []*hostedNode {
 // NodeWeight exposes a hosted node's decayed ranking weight (testing and
 // introspection).
 func (p *Peer) NodeWeight(node NodeID) float64 {
+	p.foldFastTouches()
 	hn, ok := p.hosted[node]
 	if !ok {
 		return 0

@@ -366,6 +366,7 @@ func (p *Peer) installReplica(pl *ReplicaPayload, from ServerID) bool {
 }
 
 func (p *Peer) lowestRankedReplica() *hostedNode {
+	p.foldFastTouches()
 	var victim *hostedNode
 	var vw float64
 	for _, hn := range p.hostedList {

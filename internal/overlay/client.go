@@ -149,8 +149,8 @@ func (n *Node) StoreData(nd core.NodeID, data []byte) bool {
 }
 
 // Snapshot is a point-in-time view of a live node's protocol state, safe to
-// collect while the node runs (counters are read without synchronization and
-// may be up to one message stale — monitoring-grade, not transactional).
+// collect while the node runs (gathered inside the event loop; on a stopped
+// node the quiescent state is read directly).
 type Snapshot struct {
 	ID        core.ServerID
 	Owned     int
@@ -165,13 +165,18 @@ type Snapshot struct {
 // Snapshot collects monitoring counters from the node.
 func (n *Node) Snapshot() Snapshot {
 	s := Snapshot{
-		ID:       n.id,
-		Owned:    n.peer.OwnedCount(),
-		Replicas: n.peer.ReplicaCount(),
-		Cache:    n.peer.CacheLen(),
-		Load:     n.meter.Load(time.Since(n.epoch).Seconds()),
-		Dropped:  n.dropped.Load(),
-		Stats:    n.peer.Stats,
+		ID:      n.id,
+		Dropped: n.dropped.Load(),
+	}
+	collect := func(p *core.Peer) {
+		s.Owned = p.OwnedCount()
+		s.Replicas = p.ReplicaCount()
+		s.Cache = p.CacheLen()
+		s.Load = n.meter.Load(time.Since(n.epoch).Seconds())
+		s.Stats = p.StatsView()
+	}
+	if !n.Inspect(collect) {
+		collect(n.peer) // node stopped: the loop is quiescent
 	}
 	s.Transport, _ = n.TransportStats()
 	return s

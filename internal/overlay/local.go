@@ -3,6 +3,7 @@ package overlay
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"terradir/internal/core"
@@ -13,16 +14,45 @@ import (
 // LocalTransport delivers messages between nodes of one process by direct
 // inbox injection, optionally after a simulated network delay. Message
 // values follow the core ownership-transfer conventions, so no copying is
-// needed between goroutines.
+// needed between goroutines. Delayed delivery runs on one shared
+// delay-queue goroutine rather than one time.AfterFunc timer per message:
+// the delay is constant, so arrival order is due-time order and a FIFO
+// plus a single timer replaces per-message timer allocations (and their
+// runtime-timer-heap churn) entirely.
 type LocalTransport struct {
 	nodes []*Node
 	delay time.Duration
+
+	mu      sync.Mutex
+	pending []delayedMsg
+	scratch []delayedMsg // reused due-batch buffer (delay goroutine only)
+	closed  bool
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+type delayedMsg struct {
+	due time.Time
+	dst *Node
+	m   core.Message
 }
 
 // NewLocalTransport creates a transport over the given (positionally
 // ID-ordered) nodes with an optional per-message delay.
 func NewLocalTransport(delay time.Duration) *LocalTransport {
-	return &LocalTransport{delay: delay}
+	t := &LocalTransport{
+		delay: delay,
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if delay > 0 {
+		go t.runDelay()
+	} else {
+		close(t.done)
+	}
+	return t
 }
 
 // Register adds a node; nodes must be registered in server-ID order.
@@ -38,12 +68,88 @@ func (t *LocalTransport) Send(from, to core.ServerID, m core.Message) error {
 		dst.Deliver(m)
 		return nil
 	}
-	time.AfterFunc(t.delay, func() { dst.Deliver(m) })
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil // in-flight loss after close; soft state tolerates it
+	}
+	t.pending = append(t.pending, delayedMsg{due: time.Now().Add(t.delay), dst: dst, m: m})
+	t.mu.Unlock()
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
 	return nil
 }
 
-// Close implements Transport.
-func (t *LocalTransport) Close() error { return nil }
+// runDelay is the shared delivery goroutine: it sleeps until the queue head
+// is due, then delivers every due message. The constant per-message delay
+// makes the FIFO due-time-ordered, so no priority queue is needed — and a
+// Send while the timer sleeps can only append a later due time, so the
+// sleep never needs to be shortened.
+func (t *LocalTransport) runDelay() {
+	defer close(t.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		t.mu.Lock()
+		if len(t.pending) == 0 {
+			t.mu.Unlock()
+			select {
+			case <-t.wake:
+				continue
+			case <-t.stop:
+				return
+			}
+		}
+		head := t.pending[0].due
+		t.mu.Unlock()
+		if wait := time.Until(head); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-t.stop:
+				timer.Stop()
+				return
+			}
+		}
+		t.mu.Lock()
+		now := time.Now()
+		n := 0
+		for n < len(t.pending) && !t.pending[n].due.After(now) {
+			n++
+		}
+		batch := append(t.scratch[:0], t.pending[:n]...)
+		rest := copy(t.pending, t.pending[n:])
+		for i := rest; i < len(t.pending); i++ {
+			t.pending[i] = delayedMsg{}
+		}
+		t.pending = t.pending[:rest]
+		t.mu.Unlock()
+		for i := range batch {
+			batch[i].dst.Deliver(batch[i].m)
+			batch[i] = delayedMsg{}
+		}
+		t.scratch = batch[:0]
+	}
+}
+
+// Close implements Transport: it stops the delay goroutine (dropping any
+// undelivered delayed messages, which soft state tolerates). Idempotent.
+func (t *LocalTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.stop)
+	<-t.done
+	return nil
+}
 
 // LocalCluster is an in-process live overlay: one goroutine per server over
 // a LocalTransport. It is the quickest way to run the protocol for real
@@ -175,13 +281,14 @@ func (c *LocalCluster) LookupName(ctx context.Context, source int, name string) 
 	return c.nodes[source].LookupName(ctx, name)
 }
 
-// StopAll shuts every node down.
+// StopAll shuts every node down and stops the transport's delay goroutine.
 func (c *LocalCluster) StopAll() {
 	for _, n := range c.nodes {
 		if n != nil {
 			n.Stop()
 		}
 	}
+	c.transport.Close()
 }
 
 // TotalReplicas sums live replicas across all (stopped or idle) nodes.

@@ -78,9 +78,12 @@ func (n *Node) startMembership() {
 			_ = n.transport.Send(n.id, to, m) // soft state: losses tolerated
 		},
 		OnEvent: func(ev membership.Event) {
-			// Funnel into the event loop: the peer is single-threaded.
+			// Funnel into the event loop: the peer is single-threaded. Marked
+			// learn — purges and handoffs must reach the routing snapshot
+			// before the fast path serves another query.
+			n.learnSeq.Add(1)
 			select {
-			case n.control <- envelope{fn: func() { n.handleMembershipEvent(ev) }}:
+			case n.control <- envelope{fn: func() { n.handleMembershipEvent(ev) }, learn: true}:
 			case <-n.stop:
 			}
 		},
@@ -109,7 +112,9 @@ func (n *Node) handleMembershipEvent(ev membership.Event) {
 		changes := n.ownership.SetAlive(ev.ID, false)
 		// Soft-state repair: drop every cached/replicated reference to the
 		// dead server, reseeding emptied maps from the post-handoff owner.
+		// The result cache may hold maps pointing at the dead server too.
 		n.peer.PurgeServer(ev.ID, n.ownership.Owner)
+		n.forgetResults()
 		n.applyReassignments(changes)
 	case membership.Alive:
 		changes := n.ownership.SetAlive(ev.ID, true)

@@ -33,8 +33,14 @@ type Options struct {
 	QueueCap int
 	// ServiceDelay is an artificial per-query processing cost, letting small
 	// demos generate enough load to exercise the replication protocol.
-	// Default 0 (process at full speed).
+	// Default 0 (process at full speed). A non-zero delay disables the
+	// snapshot fast path: delayed service models loop occupancy, which is
+	// exactly what the fast path bypasses.
 	ServiceDelay time.Duration
+	// DisableFastPath forces every query through the event loop even when the
+	// lock-free snapshot fast path would apply (benchmark baselines, tests
+	// that need strict loop serialization).
+	DisableFastPath bool
 	// LoadWindow is the busy-fraction measurement window Ω. Default 500 ms.
 	LoadWindow time.Duration
 	// DataTimeout bounds data-retrieval round trips (Get) when the caller's
@@ -117,6 +123,7 @@ type Transport interface {
 type TransportStats struct {
 	Enqueued      uint64 // messages accepted into an outbound queue
 	Sent          uint64 // frames written to a socket
+	Flushes       uint64 // socket writes (each carries >=1 coalesced frames)
 	QueueDrops    uint64 // messages evicted from full outbound queues (drop-oldest)
 	WriteErrors   uint64 // frames lost to write failures or expired deadlines
 	Dials         uint64 // successful connection attempts
@@ -136,9 +143,9 @@ type StatsReporter interface {
 
 // transportCounters is the internal atomic backing for TransportStats.
 type transportCounters struct {
-	enqueued, sent, queueDrops, writeErrors atomic.Uint64
-	dials, dialErrors, redials              atomic.Uint64
-	corruptFrames, connErrors               atomic.Uint64
+	enqueued, sent, flushes, queueDrops, writeErrors atomic.Uint64
+	dials, dialErrors, redials                       atomic.Uint64
+	corruptFrames, connErrors                        atomic.Uint64
 }
 
 // TransportStats reports the node's transport counters, or a zero snapshot
@@ -153,6 +160,12 @@ func (n *Node) TransportStats() (TransportStats, bool) {
 type envelope struct {
 	msg core.Message
 	fn  func()
+	// learn marks envelopes whose effects the fast path must observe before
+	// serving another query: membership warmup maps and Inspect (which may
+	// mutate the peer). The loop republishes the snapshot immediately after
+	// executing one. Only guaranteed (blocking) enqueues may be marked — a
+	// dropped learn would wedge the fast path closed.
+	learn bool
 }
 
 // Node is one live TerraDir server.
@@ -184,6 +197,31 @@ type Node struct {
 	serviceHist   *telemetry.Histogram
 	latencyHist   *telemetry.Histogram
 	hopsHist      *telemetry.Histogram
+
+	// Lock-free snapshot fast path (see core.RouteSnapshot). sendFn/absorbFn
+	// are bound once so per-query fast serves allocate no closures.
+	// learnSeq counts learn-marked envelopes enqueued; learnPub counts those
+	// whose effects have been published in a snapshot. While they differ the
+	// fast path declines queries, which routes them through the loop behind
+	// the pending learns (control drains before queries) — sequential callers
+	// get exactly the loop's read-your-writes ordering.
+	learnSeq    atomic.Uint64
+	learnPub    atomic.Uint64
+	fastEnabled bool
+	// resMaps remembers the host maps of recently completed local lookups so
+	// the fast path sees its own results immediately, without waiting for the
+	// loop to absorb them into the next snapshot (read-your-writes for the
+	// common case). Bounded by resCap; advisory only.
+	resMu           sync.RWMutex
+	resMaps         map[core.NodeID]core.NodeMap
+	resCap          int
+	sendFn          func(core.ServerID, core.Message)
+	absorbFn        func(core.Piggyback, []core.PathEntry)
+	fastResolved    *telemetry.Counter
+	fastForwarded   *telemetry.Counter
+	fastFailed      *telemetry.Counter
+	fastFallbacks   *telemetry.Counter
+	fastAbsorbDrops *telemetry.Counter
 
 	mu          sync.Mutex
 	pending     map[uint64]chan LookupResult
@@ -259,6 +297,21 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 	n.hopsHist = n.reg.Histogram("terradir_lookup_hops",
 		"Hop count of lookups initiated at this server.",
 		telemetry.HistogramOpts{Min: 1, Max: 100, BucketsPerDecade: 16}, server...)
+	n.fastResolved = n.reg.Counter("terradir_fastpath_resolved_total",
+		"Lookups resolved on the lock-free snapshot fast path.", server...)
+	n.fastForwarded = n.reg.Counter("terradir_fastpath_forwarded_total",
+		"Queries forwarded on the lock-free snapshot fast path.", server...)
+	n.fastFailed = n.reg.Counter("terradir_fastpath_failed_total",
+		"Lookups terminated (TTL or no route) on the snapshot fast path.", server...)
+	n.fastFallbacks = n.reg.Counter("terradir_fastpath_fallbacks_total",
+		"Queries the fast path declined to the event loop (no snapshot or pruning needed).", server...)
+	n.fastAbsorbDrops = n.reg.Counter("terradir_fastpath_absorb_drops_total",
+		"Fast-path rider/path absorptions dropped because the control queue was full.", server...)
+	n.sendFn = n.fastSend
+	n.absorbFn = n.fastAbsorb
+	if n.resCap = opts.Config.CacheSlots; n.resCap > 0 {
+		n.resMaps = make(map[core.NodeID]core.NodeMap, n.resCap)
+	}
 	if opts.Membership != nil {
 		if opts.Membership.Servers < 1 {
 			return nil, fmt.Errorf("overlay: MembershipOptions.Servers = %d", opts.Membership.Servers)
@@ -289,8 +342,9 @@ func (n *Node) Peer() *core.Peer { return n.peer }
 // Returns false if the node stopped before fn could execute.
 func (n *Node) Inspect(fn func(p *core.Peer)) bool {
 	done := make(chan struct{})
+	n.learnSeq.Add(1) // fn may mutate the peer; republish before fast serves resume
 	select {
-	case n.control <- envelope{fn: func() { fn(n.peer); close(done) }}:
+	case n.control <- envelope{fn: func() { fn(n.peer); close(done) }, learn: true}:
 	case <-n.stop:
 		return false
 	}
@@ -326,6 +380,12 @@ func (n *Node) Start() {
 		panic("overlay: Start before SetTransport")
 	}
 	n.registerTransportMetrics()
+	n.fastEnabled = n.opts.ServiceDelay == 0 && !n.opts.DisableFastPath
+	if n.fastEnabled {
+		// Publish before the loop runs so early arrivals see a snapshot
+		// instead of falling back.
+		n.peer.PublishSnapshot()
+	}
 	go n.loop()
 	if n.opts.Membership != nil {
 		n.startMembership()
@@ -349,6 +409,8 @@ func (n *Node) registerTransportMetrics() {
 		func(s TransportStats) uint64 { return s.Enqueued })
 	counter("terradir_transport_sent_total", "Frames written to sockets.",
 		func(s TransportStats) uint64 { return s.Sent })
+	counter("terradir_transport_flushes_total", "Socket writes; sent/flushes is the write-coalescing factor.",
+		func(s TransportStats) uint64 { return s.Flushes })
 	counter("terradir_transport_queue_drops_total", "Messages evicted from full outbound queues (drop-oldest).",
 		func(s TransportStats) uint64 { return s.QueueDrops })
 	counter("terradir_transport_write_errors_total", "Frames lost to write failures or expired deadlines.",
@@ -383,10 +445,43 @@ func (n *Node) Stop() {
 	<-n.done
 }
 
+// snapshotInterval throttles routing-snapshot publication while the loop is
+// busy; an idle loop publishes immediately so fast-path readers never lag a
+// quiet node.
+const snapshotInterval = 500 * time.Microsecond
+
 func (n *Node) loop() {
 	defer close(n.done)
 	maintain := time.NewTicker(time.Duration(n.opts.Config.MaintainInterval * float64(time.Second)))
 	defer maintain.Stop()
+	dirty := false
+	var learnExec uint64
+	var lastPublish time.Time
+	publish := func(force bool) {
+		if !n.fastEnabled || !dirty {
+			return
+		}
+		now := time.Now()
+		if !force && now.Sub(lastPublish) < snapshotInterval {
+			return
+		}
+		n.peer.PublishSnapshot()
+		lastPublish = now
+		dirty = false
+	}
+	handle := func(env envelope) {
+		n.handleControl(env)
+		dirty = true
+		if env.learn {
+			// Publish before advancing learnPub: a reader that observes
+			// learnPub == learnSeq must find the learning in the snapshot.
+			learnExec++
+			publish(true)
+			n.learnPub.Store(learnExec)
+			return
+		}
+		publish(false)
+	}
 	for {
 		// Control traffic and timers take priority over queued queries
 		// (they bypass the service queue, as in the simulator).
@@ -394,22 +489,30 @@ func (n *Node) loop() {
 		case <-n.stop:
 			return
 		case env := <-n.control:
-			n.handleControl(env)
+			handle(env)
 			continue
 		case <-maintain.C:
 			n.peer.Maintain()
+			dirty = true
+			publish(false)
 			continue
 		default:
 		}
+		// About to block: flush any pending snapshot so concurrent readers
+		// aren't left on stale state while the loop sits idle.
+		publish(len(n.control) == 0 && len(n.queries) == 0)
 		select {
 		case <-n.stop:
 			return
 		case env := <-n.control:
-			n.handleControl(env)
+			handle(env)
 		case <-maintain.C:
 			n.peer.Maintain()
+			dirty = true
 		case q := <-n.queries:
 			n.serveQuery(q)
+			dirty = true
+			publish(false)
 		}
 	}
 }
@@ -447,6 +550,98 @@ func (n *Node) handleControl(env envelope) {
 	n.peer.HandleControl(env.msg)
 }
 
+// tryFastServe attempts to serve q on the peer's published routing snapshot,
+// entirely on the calling goroutine — no event-loop round trip, no locks.
+// It reports whether the query was fully handled; false means the caller must
+// queue it for the loop (no snapshot yet, hooks active, or the route needs a
+// mutation only the loop may perform).
+func (n *Node) tryFastServe(q *core.QueryMsg) bool {
+	if n.learnPub.Load() != n.learnSeq.Load() {
+		// Learnings are still in flight to the snapshot; serve through the
+		// loop, which drains them first (read-your-writes).
+		n.fastFallbacks.Inc()
+		return false
+	}
+	s := n.peer.RoutingSnapshot()
+	if s == nil {
+		n.fastFallbacks.Inc()
+		return false
+	}
+	now := time.Since(n.epoch).Seconds()
+	q.ServedAt = now
+	switch s.HandleQueryFast(q, now, n.resultHint(q.Dest), n.sendFn, n.absorbFn) {
+	case core.FastResolved:
+		n.fastResolved.Inc()
+	case core.FastForwarded:
+		n.fastForwarded.Inc()
+	case core.FastFailed:
+		n.fastFailed.Inc()
+	default:
+		n.fastFallbacks.Inc()
+		return false
+	}
+	if q.Enqueued > 0 && now >= q.Enqueued {
+		n.queueWaitHist.Observe(now - q.Enqueued)
+	}
+	return true
+}
+
+func (n *Node) fastSend(to core.ServerID, m core.Message) {
+	if to == n.id {
+		n.Deliver(m)
+		return
+	}
+	_ = n.transport.Send(n.id, to, m) // soft state: losses tolerated
+}
+
+// fastAbsorb hands a fast-served query's rider and path to the event loop for
+// absorption into the peer's soft state. Non-blocking: under control-queue
+// pressure the rider is dropped (it is advisory) rather than stalling the
+// lock-free path.
+func (n *Node) fastAbsorb(pb core.Piggyback, path []core.PathEntry) {
+	select {
+	case n.control <- envelope{fn: func() { n.peer.FastAbsorb(pb, path) }}:
+	default:
+		n.fastAbsorbDrops.Inc()
+	}
+}
+
+// rememberResult records a completed lookup's host map in the node's result
+// cache. Shared storage is safe: host-map slices are read-only once received.
+func (n *Node) rememberResult(dest core.NodeID, m core.NodeMap) {
+	n.resMu.Lock()
+	if _, ok := n.resMaps[dest]; !ok && len(n.resMaps) >= n.resCap {
+		for k := range n.resMaps { // random slot, soft state
+			delete(n.resMaps, k)
+			break
+		}
+	}
+	n.resMaps[dest] = m
+	n.resMu.Unlock()
+}
+
+// resultHint returns the remembered host map for dest (zero map if none).
+func (n *Node) resultHint(dest core.NodeID) core.NodeMap {
+	if n.resMaps == nil {
+		return core.NodeMap{}
+	}
+	n.resMu.RLock()
+	m := n.resMaps[dest]
+	n.resMu.RUnlock()
+	return m
+}
+
+// forgetResults drops the result cache (ownership changed, e.g. a server was
+// purged; the remembered maps may point at dead hosts).
+func (n *Node) forgetResults() {
+	if n.resMaps == nil {
+		return
+	}
+	n.resMu.Lock()
+	clear(n.resMaps)
+	n.resMu.Unlock()
+}
+
 func (n *Node) serveQuery(q *core.QueryMsg) {
 	start := time.Since(n.epoch).Seconds()
 	q.ServedAt = start // spans measure service from here, including the delay
@@ -468,18 +663,59 @@ func (n *Node) Deliver(m core.Message) {
 	switch msg := m.(type) {
 	case *core.QueryMsg:
 		msg.Enqueued = time.Since(n.epoch).Seconds()
+		if n.fastEnabled && n.tryFastServe(msg) {
+			return
+		}
 		select {
 		case n.queries <- msg:
 		default:
 			n.dropped.Add(1)
 			n.inboxDrops.Inc()
 		}
+	case *core.ResultMsg:
+		if n.fastEnabled {
+			// Queue the learning first (control is FIFO) so an Inspect issued
+			// after Lookup returns observes the absorbed result, then wake the
+			// waiting caller without a loop round trip. HandleResult only
+			// reads the message, so the concurrent completeLookup is safe.
+			// The result cache (not the snapshot) gives the caller's next
+			// lookup immediate visibility of this result.
+			select {
+			case n.control <- envelope{fn: func() { n.peer.HandleResult(msg) }}:
+			case <-n.stop:
+				return
+			}
+			n.completeLookup(msg)
+			return
+		}
+		select {
+		case n.control <- envelope{msg: m}:
+		case <-n.stop:
+		}
+	case *core.TraceSpanMsg:
+		if n.fastEnabled {
+			// Fold the span in immediately (TraceStore is concurrency-safe);
+			// the piggybacked rider is soft state, absorbed on the loop when
+			// there's room.
+			n.traces.AddSpan(msg.TraceID, msg.Span)
+			select {
+			case n.control <- envelope{fn: func() { n.peer.HandleControl(msg) }}:
+			default:
+				n.fastAbsorbDrops.Inc()
+			}
+			return
+		}
+		select {
+		case n.control <- envelope{msg: m}:
+		case <-n.stop:
+		}
 	case *core.MembershipMsg:
 		if msg.Kind == core.MembershipWarmup {
 			// Warmup streams are routing state, not liveness: absorb them on
 			// the event loop, where the peer may be touched.
+			n.learnSeq.Add(1)
 			select {
-			case n.control <- envelope{fn: func() { n.peer.LearnMaps(msg.Warmup) }}:
+			case n.control <- envelope{fn: func() { n.peer.LearnMaps(msg.Warmup) }, learn: true}:
 			case <-n.stop:
 			}
 			return
@@ -517,6 +753,10 @@ func (n *Node) completeLookup(r *core.ResultMsg) {
 		Trace:   append([]telemetry.Span(nil), r.Spans...),
 	}
 	res.Hosts = append(res.Hosts, r.Map.Servers...)
+	if n.fastEnabled && r.OK && len(r.Map.Servers) > 0 {
+		// Insert before waking the caller so their next lookup sees it.
+		n.rememberResult(r.Dest, r.Map)
+	}
 	n.latencyHist.Observe(res.Latency.Seconds())
 	n.hopsHist.Observe(float64(res.Hops))
 	n.traces.Complete(r.TraceID, r.Spans, r.OK, r.Hops)
@@ -528,6 +768,11 @@ func (n *Node) completeLookup(r *core.ResultMsg) {
 func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, error) {
 	if dest < 0 || int(dest) >= n.tree.Len() {
 		return LookupResult{}, fmt.Errorf("overlay: no such node %d", dest)
+	}
+	if err := ctx.Err(); err != nil {
+		// The fast path can resolve synchronously, which would make the
+		// result and a pre-cancelled context race in the select below.
+		return LookupResult{}, err
 	}
 	qid := n.nextQID.Add(1)
 	ch := make(chan LookupResult, 1)
@@ -548,15 +793,17 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		// the rare route that ends exactly at MaxHops.
 		q.SpanBudget = int32(n.opts.Config.MaxHops) + 2
 	}
-	select {
-	case n.queries <- q:
-	default:
-		n.mu.Lock()
-		delete(n.pending, qid)
-		n.mu.Unlock()
-		n.dropped.Add(1)
-		n.inboxDrops.Inc()
-		return LookupResult{}, fmt.Errorf("overlay: server %d queue full", n.id)
+	if !n.fastEnabled || !n.tryFastServe(q) {
+		select {
+		case n.queries <- q:
+		default:
+			n.mu.Lock()
+			delete(n.pending, qid)
+			n.mu.Unlock()
+			n.dropped.Add(1)
+			n.inboxDrops.Inc()
+			return LookupResult{}, fmt.Errorf("overlay: server %d queue full", n.id)
+		}
 	}
 	select {
 	case res := <-ch:

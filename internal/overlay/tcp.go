@@ -2,17 +2,29 @@ package overlay
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"terradir/internal/core"
 	"terradir/internal/rng"
 	"terradir/internal/wire"
 )
+
+// maxBatchBytes caps how many queued frame bytes one socket write coalesces.
+// A batch always takes at least one frame, so a single near-MaxFrame message
+// still goes out; the cap just bounds the writer's assembly buffer and keeps
+// one flush from monopolizing the write deadline.
+const maxBatchBytes = 256 << 10
+
+// maxPooledBuf bounds the capacity of encode buffers kept on a peer's free
+// list — one oversized replicate frame must not pin megabytes forever.
+const maxPooledBuf = 64 << 10
 
 // TCPTransportOptions tunes the transport's asynchronous outbound path. The
 // zero value selects the defaults documented per field.
@@ -65,8 +77,12 @@ func (o *TCPTransportOptions) fill(self core.ServerID) {
 // goroutine per destination, which dials with a timeout, writes with a
 // deadline, and redials with capped exponential backoff — so a stalled or
 // dead peer can never block Send, the node's event loop, or other senders.
-// Overflow and broken writes drop messages (counted), which the soft-state
-// protocol tolerates.
+// The writer coalesces: it drains every queued frame (up to maxBatchBytes)
+// into a single socket write, so a burst of small protocol messages costs
+// one syscall instead of two per message, and encode buffers recycle through
+// a per-peer free list (Send appends into a recycled buffer; the writer
+// returns it after the flush). Overflow and broken writes drop messages
+// (counted), which the soft-state protocol tolerates.
 type TCPTransport struct {
 	self  core.ServerID
 	addrs map[core.ServerID]string
@@ -184,15 +200,9 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 // destination's outbound queue, never blocking on the network. Errors are
 // returned only for local problems (unknown destination, unencodable or
 // oversized message, closed transport); network delivery is asynchronous and
-// best-effort.
+// best-effort. Encoding appends into a buffer recycled from the peer's free
+// list, so steady-state sends allocate nothing.
 func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
-	data, err := wire.Encode(m)
-	if err != nil {
-		return err
-	}
-	if len(data) > wire.MaxFrame {
-		return fmt.Errorf("overlay: message for server %d: %w (%d bytes)", to, wire.ErrFrameSize, len(data))
-	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -218,6 +228,15 @@ func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
 		go p.run()
 	}
 	t.mu.Unlock()
+	data, err := wire.AppendMessage(p.getBuf(), m)
+	if err != nil {
+		p.putBuf(data)
+		return err
+	}
+	if len(data) > wire.MaxFrame {
+		p.putBuf(data)
+		return fmt.Errorf("overlay: message for server %d: %w (%d bytes)", to, wire.ErrFrameSize, len(data))
+	}
 	t.ctr.enqueued.Add(1)
 	if dropped := p.push(data); dropped > 0 {
 		t.ctr.queueDrops.Add(uint64(dropped))
@@ -291,6 +310,7 @@ func (t *TCPTransport) Stats() TransportStats {
 	s := TransportStats{
 		Enqueued:      t.ctr.enqueued.Load(),
 		Sent:          t.ctr.sent.Load(),
+		Flushes:       t.ctr.flushes.Load(),
 		QueueDrops:    t.ctr.queueDrops.Load(),
 		WriteErrors:   t.ctr.writeErrors.Load(),
 		Dials:         t.ctr.dials.Load(),
@@ -332,13 +352,15 @@ func (t *TCPTransport) Close() error {
 }
 
 // peerSender owns one destination's outbound path: a bounded drop-oldest
-// queue feeding a writer goroutine that maintains the connection.
+// queue feeding a writer goroutine that maintains the connection and
+// coalesces queued frames into single socket writes.
 type peerSender struct {
 	t    *TCPTransport
 	addr string
 
 	mu     sync.Mutex
 	queue  [][]byte
+	free   [][]byte // recycled encode buffers (written or evicted frames)
 	notify chan struct{}
 	quit   chan struct{} // closed when the sender is retired (address change)
 
@@ -350,14 +372,56 @@ type peerSender struct {
 	dialed  bool
 	backoff time.Duration
 	jitter  *rng.Source
+	batch   [][]byte // reused batch-drain scratch
+	wbuf    []byte   // reused coalesced-write assembly buffer
 }
 
-// push enqueues data, evicting the oldest queued message when full, and
-// returns how many messages were evicted.
+// getBuf pops a recycled encode buffer (nil when none — append allocates).
+func (p *peerSender) getBuf() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns one encode buffer to the free list.
+func (p *peerSender) putBuf(b []byte) {
+	p.mu.Lock()
+	p.recycleLocked(b)
+	p.mu.Unlock()
+}
+
+// putBufs returns a written batch's buffers to the free list.
+func (p *peerSender) putBufs(bufs [][]byte) {
+	p.mu.Lock()
+	for i, b := range bufs {
+		p.recycleLocked(b)
+		bufs[i] = nil
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerSender) recycleLocked(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf || len(p.free) >= p.t.opts.QueueDepth {
+		return
+	}
+	p.free = append(p.free, b[:0])
+}
+
+// push enqueues data, evicting (and recycling) the oldest queued messages
+// when full, and returns how many messages were evicted.
 func (p *peerSender) push(data []byte) (dropped int) {
 	p.mu.Lock()
 	if len(p.queue) >= p.t.opts.QueueDepth {
 		n := len(p.queue) - p.t.opts.QueueDepth + 1
+		for _, old := range p.queue[:n] {
+			p.recycleLocked(old)
+		}
 		p.queue = append(p.queue[:0], p.queue[n:]...)
 		dropped = n
 	}
@@ -376,15 +440,32 @@ func (p *peerSender) depth() int {
 	return len(p.queue)
 }
 
-// next blocks until a message is queued or the transport closes.
-func (p *peerSender) next() ([]byte, bool) {
+// nextBatch blocks until at least one message is queued (or the sender is
+// shutting down), then drains consecutive frames up to maxBatchBytes into a
+// reused scratch slice.
+func (p *peerSender) nextBatch() ([][]byte, bool) {
 	for {
 		p.mu.Lock()
 		if len(p.queue) > 0 {
-			data := p.queue[0]
-			p.queue = p.queue[1:]
+			batch := p.batch[:0]
+			size := 0
+			n := 0
+			for _, f := range p.queue {
+				if n > 0 && size+len(f) > maxBatchBytes {
+					break
+				}
+				batch = append(batch, f)
+				size += len(f)
+				n++
+			}
+			rest := copy(p.queue, p.queue[n:])
+			for i := rest; i < len(p.queue); i++ {
+				p.queue[i] = nil
+			}
+			p.queue = p.queue[:rest]
 			p.mu.Unlock()
-			return data, true
+			p.batch = batch
+			return batch, true
 		}
 		p.mu.Unlock()
 		select {
@@ -400,12 +481,12 @@ func (p *peerSender) next() ([]byte, bool) {
 func (p *peerSender) run() {
 	defer p.t.wg.Done()
 	for {
-		data, ok := p.next()
+		batch, ok := p.nextBatch()
 		if !ok {
 			p.closeConn()
 			return
 		}
-		p.deliver(data)
+		p.deliver(batch)
 		select {
 		case <-p.quit:
 			p.closeConn()
@@ -418,12 +499,12 @@ func (p *peerSender) run() {
 	}
 }
 
-// deliver writes one frame, (re)connecting as needed. Dial failures sleep
-// the capped exponential backoff and retry the same frame (the queue keeps
-// absorbing newer traffic behind it, evicting its oldest on overflow); write
-// failures drop the frame and mark the connection dead so the next frame
-// redials.
-func (p *peerSender) deliver(data []byte) {
+// deliver flushes one coalesced batch, (re)connecting as needed. Dial
+// failures sleep the capped exponential backoff and retry the same batch
+// (the queue keeps absorbing newer traffic behind it, evicting its oldest on
+// overflow); a write failure drops the whole batch and marks the connection
+// dead so the next batch redials.
+func (p *peerSender) deliver(batch [][]byte) {
 	for {
 		conn := p.conn()
 		if conn == nil {
@@ -436,13 +517,36 @@ func (p *peerSender) deliver(data []byte) {
 				continue // dial failed; backoff already slept
 			}
 		}
-		conn.SetWriteDeadline(time.Now().Add(p.t.opts.WriteTimeout))
-		if err := wire.WriteFrame(conn, data); err != nil {
-			p.t.ctr.writeErrors.Add(1)
+		// Detect a broken connection *before* committing the batch: outbound
+		// connections are write-only (peers respond on their own dials), so a
+		// pending FIN/RST — which a first write would silently absorb — means
+		// the peer is gone. Without this check a batch written into a dead
+		// socket is blackholed and the failure only shows on the next batch.
+		if connBroken(conn) {
 			p.closeConn()
-			return // frame lost with the connection; soft state tolerates it
+			continue // redial and retry the same batch
 		}
-		p.t.ctr.sent.Add(1)
+		p.wbuf = p.wbuf[:0]
+		for _, f := range batch {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+			p.wbuf = append(p.wbuf, hdr[:]...)
+			p.wbuf = append(p.wbuf, f...)
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.t.opts.WriteTimeout))
+		_, err := conn.Write(p.wbuf)
+		if cap(p.wbuf) > 2*maxBatchBytes {
+			p.wbuf = nil // don't pin an outsized frame's assembly buffer
+		}
+		if err != nil {
+			p.t.ctr.writeErrors.Add(uint64(len(batch)))
+			p.closeConn()
+			p.putBufs(batch)
+			return // batch lost with the connection; soft state tolerates it
+		}
+		p.t.ctr.sent.Add(uint64(len(batch)))
+		p.t.ctr.flushes.Add(1)
+		p.putBufs(batch)
 		return
 	}
 }
@@ -487,6 +591,37 @@ func (p *peerSender) connect() (net.Conn, bool) {
 	p.nc = nc
 	p.cmu.Unlock()
 	return nc, true
+}
+
+// connBroken reports whether a write-only connection has a pending EOF,
+// reset, or unexpected inbound byte, via one non-blocking read at the fd
+// level (a net.Conn deadline-based poll cannot do this: an already-expired
+// deadline short-circuits before the syscall). Peers never send on
+// connections we dialed, so any readable event means the connection is dead.
+func connBroken(conn net.Conn) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return false // cannot probe; let the write discover failures
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	broken := false
+	var buf [1]byte
+	rerr := rc.Read(func(fd uintptr) bool {
+		n, err := syscall.Read(int(fd), buf[:])
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR:
+			// Nothing pending: the healthy case.
+		case n == 0 && err == nil:
+			broken = true // FIN: peer closed
+		default:
+			broken = true // RST, other socket error, or unexpected data
+		}
+		return true // never park; this is a poll, not a wait
+	})
+	return broken || rerr != nil
 }
 
 func (p *peerSender) conn() net.Conn {

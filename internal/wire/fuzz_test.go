@@ -37,6 +37,12 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
+	// Legacy (wire ≤3) gob frame: must classify as ErrVersion, never panic.
+	f.Add(legacyGobFrame(f))
+	// Magic byte with truncated payloads.
+	f.Add([]byte{Magic})
+	f.Add([]byte{Magic, 1})
+	f.Add([]byte{Magic, 2, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
 		if err == nil && msg == nil {

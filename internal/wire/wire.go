@@ -1,18 +1,20 @@
 // Package wire serializes TerraDir protocol messages for real transports
-// (the TCP overlay). Messages are encoded as a one-byte kind tag followed by
-// a gob-encoded mirror struct; Bloom digests travel in their compact binary
-// form (bloom.Marshal). The mirror types exist because the core message
-// structs embed an interface and a filter with unexported fields, neither of
-// which gob can roundtrip directly.
+// (the TCP overlay). Version 4 frames are hand-rolled binary: a leading
+// magic byte, a one-byte kind tag, then fixed-width little-endian fields
+// with u32-length-prefixed strings, byte slices, and repeated groups. Bloom
+// digests travel in their compact binary form (bloom.AppendTo/Unmarshal).
+// The encoder is append-style (AppendMessage) so transports can reuse one
+// buffer across writes; the decoder is a bounds-checked cursor that
+// classifies every malformed input as an error — it never panics and never
+// allocates more than the frame's own length implies.
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"terradir/internal/bloom"
 	"terradir/internal/core"
@@ -20,15 +22,22 @@ import (
 )
 
 // Version is the wire protocol version. Version 2 added per-lookup trace
-// fields to query/result frames and the trace-span message kind; version-1
-// frames decode fine (gob tolerates absent fields), but version-1 decoders
-// reject kindTraceSpan frames, so mixed deployments must not enable tracing.
-// Version 3 added the membership frame kind (gossip failure detection and
-// join/leave); version-2 decoders likewise reject it, so mixed deployments
-// must not enable the membership subsystem.
-const Version = 3
+// fields to query/result frames and the trace-span message kind; version 3
+// added the membership frame kind. Version 4 replaced the gob payload
+// encoding with the fixed-width binary layout this package now implements.
+// Version-4 frames lead with the Magic byte; versions 1–3 led with the kind
+// tag directly, so a v4 decoder recognises legacy frames by their first
+// byte (kinds occupy 1..10, disjoint from Magic) and rejects them with
+// ErrVersion. Mixed v3/v4 deployments are not supported.
+const Version = 4
 
-// Message kind tags.
+// Magic is the first byte of every version-4 frame. It is disjoint from the
+// legacy kind-tag range (1..10), so the decoder can tell a v4 frame from a
+// gob-era one by its first byte alone.
+const Magic byte = 0xD4
+
+// Message kind tags (second byte of a v4 frame; first byte of legacy
+// frames).
 const (
 	kindQuery byte = iota + 1
 	kindResult
@@ -52,322 +61,558 @@ const MaxFrame = 1 << 20
 // rather than connection errors.
 var ErrFrameSize = errors.New("wire: frame size out of range")
 
-type wirePiggy struct {
-	From    int32
-	Load    float64
-	Adverts []core.Advert
-	Digests []wireDigest
+// ErrVersion reports a frame from an incompatible protocol version — in
+// practice a gob-encoded frame from a wire ≤3 peer, recognised by its
+// leading kind tag where version 4 puts the Magic byte. Detect it with
+// errors.Is; transports use it to distinguish "peer speaks an old protocol"
+// from corruption.
+var ErrVersion = errors.New("wire: incompatible protocol version")
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// Encode serializes a protocol message into a fresh buffer. Hot paths that
+// write many messages should prefer AppendMessage with a reused buffer.
+func Encode(m core.Message) ([]byte, error) {
+	return AppendMessage(nil, m)
 }
 
-type wireDigest struct {
-	Server int32
-	Data   []byte
+// AppendMessage appends m's version-4 encoding to dst and returns the
+// extended slice. Passing a reused dst[:0] makes steady-state encoding
+// allocation-free once the buffer has grown to the working-set frame size.
+func AppendMessage(dst []byte, m core.Message) ([]byte, error) {
+	switch v := m.(type) {
+	case *core.QueryMsg:
+		b := append(dst, Magic, kindQuery)
+		b = binary.LittleEndian.AppendUint64(b, v.QueryID)
+		b = appendI32(b, int32(v.Dest))
+		b = appendI32(b, int32(v.Source))
+		b = appendI32(b, int32(v.OnBehalf))
+		b = appendI32(b, int32(v.Hops))
+		b = appendF64(b, v.Started)
+		b = appendI32(b, v.PrevDist)
+		b = appendPath(b, v.Path)
+		b = binary.LittleEndian.AppendUint64(b, v.TraceID)
+		b = appendI32(b, v.SpanBudget)
+		b = appendSpans(b, v.Spans)
+		return appendPiggy(b, v.Piggy), nil
+	case *core.ResultMsg:
+		b := append(dst, Magic, kindResult)
+		b = binary.LittleEndian.AppendUint64(b, v.QueryID)
+		b = appendI32(b, int32(v.Dest))
+		b = appendBool(b, v.OK)
+		b = append(b, uint8(v.Reason))
+		b = appendI32(b, int32(v.Hops))
+		b = appendF64(b, v.Started)
+		b = appendMeta(b, v.Meta)
+		b = appendNodeMap(b, v.Map)
+		b = appendPath(b, v.Path)
+		b = binary.LittleEndian.AppendUint64(b, v.TraceID)
+		b = appendSpans(b, v.Spans)
+		return appendPiggy(b, v.Piggy), nil
+	case *core.TraceSpanMsg:
+		b := append(dst, Magic, kindTraceSpan)
+		b = binary.LittleEndian.AppendUint64(b, v.TraceID)
+		b = appendSpan(b, v.Span)
+		return appendPiggy(b, v.Piggy), nil
+	case *core.LoadProbeMsg:
+		b := append(dst, Magic, kindLoadProbe)
+		b = binary.LittleEndian.AppendUint64(b, v.Session)
+		b = appendI32(b, int32(v.From))
+		return appendPiggy(b, v.Piggy), nil
+	case *core.LoadProbeReply:
+		b := append(dst, Magic, kindLoadProbeReply)
+		b = binary.LittleEndian.AppendUint64(b, v.Session)
+		b = appendI32(b, int32(v.From))
+		b = appendF64(b, v.Load)
+		return appendPiggy(b, v.Piggy), nil
+	case *core.ReplicateRequest:
+		b := append(dst, Magic, kindReplicateReq)
+		b = binary.LittleEndian.AppendUint64(b, v.Session)
+		b = appendI32(b, int32(v.From))
+		b = appendF64(b, v.Load)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.Nodes)))
+		for i := range v.Nodes {
+			p := &v.Nodes[i]
+			b = appendI32(b, int32(p.Node))
+			b = appendMeta(b, p.Meta)
+			b = appendNodeMap(b, p.SelfMap)
+			b = appendF64(b, p.WeightHint)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Neighbors)))
+			for _, nb := range p.Neighbors {
+				b = appendI32(b, int32(nb.Node))
+				b = appendNodeMap(b, nb.Map)
+			}
+		}
+		return appendPiggy(b, v.Piggy), nil
+	case *core.ReplicateReply:
+		b := append(dst, Magic, kindReplicateReply)
+		b = binary.LittleEndian.AppendUint64(b, v.Session.ID)
+		b = appendI32(b, int32(v.Session.From))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.Accepted)))
+		for _, n := range v.Accepted {
+			b = appendI32(b, int32(n))
+		}
+		b = appendF64(b, v.Load)
+		return appendPiggy(b, v.Piggy), nil
+	case *core.DataRequest:
+		b := append(dst, Magic, kindDataRequest)
+		b = binary.LittleEndian.AppendUint64(b, v.ReqID)
+		b = appendI32(b, int32(v.Node))
+		b = appendI32(b, int32(v.From))
+		return appendPiggy(b, v.Piggy), nil
+	case *core.DataReply:
+		b := append(dst, Magic, kindDataReply)
+		b = binary.LittleEndian.AppendUint64(b, v.ReqID)
+		b = appendI32(b, int32(v.Node))
+		b = appendBool(b, v.OK)
+		b = appendBytes(b, v.Data)
+		b = appendI32(b, int32(v.From))
+		return appendPiggy(b, v.Piggy), nil
+	case *core.MembershipMsg:
+		b := append(dst, Magic, kindMembership)
+		b = append(b, v.Kind)
+		b = binary.LittleEndian.AppendUint64(b, v.Seq)
+		b = appendI32(b, int32(v.From))
+		b = appendI32(b, int32(v.Target))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.Updates)))
+		for _, u := range v.Updates {
+			b = appendI32(b, int32(u.Server))
+			b = append(b, u.State)
+			b = binary.LittleEndian.AppendUint64(b, u.Incarnation)
+			b = appendStr(b, u.Addr)
+		}
+		return appendPath(b, v.Warmup), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %T", m)
+	}
 }
 
-type wireQuery struct {
-	QueryID    uint64
-	Dest       int32
-	Source     int32
-	OnBehalf   int32
-	Hops       int32
-	Started    float64
-	PrevDist   int32
-	Path       []core.PathEntry
-	TraceID    uint64
-	SpanBudget int32
-	Spans      []telemetry.Span
-	Piggy      wirePiggy
+func appendI32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
 }
 
-type wireResult struct {
-	QueryID uint64
-	Dest    int32
-	OK      bool
-	Reason  uint8
-	Hops    int32
-	Started float64
-	Meta    core.Meta
-	Map     core.NodeMap
-	Path    []core.PathEntry
-	TraceID uint64
-	Spans   []telemetry.Span
-	Piggy   wirePiggy
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
-type wireTraceSpan struct {
-	TraceID uint64
-	Span    telemetry.Span
-	Piggy   wirePiggy
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
 }
 
-type wireLoadProbe struct {
-	Session uint64
-	From    int32
-	Piggy   wirePiggy
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
 }
 
-type wireLoadProbeReply struct {
-	Session uint64
-	From    int32
-	Load    float64
-	Piggy   wirePiggy
+func appendBytes(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
 }
 
-type wireReplicateReq struct {
-	Session uint64
-	From    int32
-	Load    float64
-	Nodes   []core.ReplicaPayload
-	Piggy   wirePiggy
+func appendNodeMap(b []byte, m core.NodeMap) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Servers)))
+	for _, s := range m.Servers {
+		b = appendI32(b, int32(s))
+	}
+	return appendI32(b, int32(m.NumAdvertised))
 }
 
-type wireDataRequest struct {
-	ReqID uint64
-	Node  int32
-	From  int32
-	Piggy wirePiggy
+func appendPath(b []byte, path []core.PathEntry) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(path)))
+	for i := range path {
+		b = appendI32(b, int32(path[i].Node))
+		b = appendNodeMap(b, path[i].Map)
+	}
+	return b
 }
 
-type wireDataReply struct {
-	ReqID uint64
-	Node  int32
-	OK    bool
-	Data  []byte
-	From  int32
-	Piggy wirePiggy
+func appendSpan(b []byte, s telemetry.Span) []byte {
+	b = appendI32(b, s.Seq)
+	b = appendI32(b, s.Server)
+	b = appendI32(b, s.Node)
+	b = append(b, uint8(s.Reason))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.QueueWaitMicros))
+	return binary.LittleEndian.AppendUint64(b, uint64(s.ServiceMicros))
 }
 
-type wireMembership struct {
-	Kind    uint8
-	Seq     uint64
-	From    int32
-	Target  int32
-	Updates []core.MemberUpdate
-	Warmup  []core.PathEntry
+func appendSpans(b []byte, spans []telemetry.Span) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(spans)))
+	for _, s := range spans {
+		b = appendSpan(b, s)
+	}
+	return b
 }
 
-type wireReplicateReply struct {
-	SessionID uint64
-	From      int32
-	Accepted  []int32
-	Load      float64
-	Piggy     wirePiggy
+func appendMeta(b []byte, m core.Meta) []byte {
+	b = binary.LittleEndian.AppendUint64(b, m.Version)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Attrs)))
+	for k, v := range m.Attrs {
+		b = appendStr(b, k)
+		b = appendStr(b, v)
+	}
+	return b
 }
 
-func packPiggy(p core.Piggyback) wirePiggy {
-	w := wirePiggy{From: int32(p.From), Load: p.Load, Adverts: p.Adverts}
+func appendPiggy(b []byte, p core.Piggyback) []byte {
+	b = appendI32(b, int32(p.From))
+	b = appendF64(b, p.Load)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Adverts)))
+	for _, a := range p.Adverts {
+		b = appendI32(b, int32(a.Node))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(a.Servers)))
+		for _, s := range a.Servers {
+			b = appendI32(b, int32(s))
+		}
+	}
+	// Digest count is written after filtering nil filters, so the prefix is
+	// exact. Each digest is length-prefixed because bloom.Unmarshal demands
+	// an exact-length slice.
+	live := 0
+	for _, d := range p.Digests {
+		if d.Digest != nil {
+			live++
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(live))
 	for _, d := range p.Digests {
 		if d.Digest == nil {
 			continue
 		}
-		w.Digests = append(w.Digests, wireDigest{Server: int32(d.Server), Data: d.Digest.Marshal()})
+		b = appendI32(b, int32(d.Server))
+		lenAt := len(b)
+		b = binary.LittleEndian.AppendUint32(b, 0) // patched below
+		b = d.Digest.AppendTo(b)
+		binary.LittleEndian.PutUint32(b[lenAt:], uint32(len(b)-lenAt-4))
 	}
-	return w
+	return b
 }
 
-func unpackPiggy(w wirePiggy) (core.Piggyback, error) {
-	p := core.Piggyback{From: core.ServerID(w.From), Load: w.Load, Adverts: w.Adverts}
-	for _, d := range w.Digests {
-		f, err := bloom.Unmarshal(d.Data)
+// ---------------------------------------------------------------------------
+// Decoding
+
+// reader is a bounds-checked cursor over one frame. Every accessor returns a
+// zero value once an overrun is recorded; the caller checks r.err exactly
+// once, after the full message has been walked.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(msg string) {
+	if r.err == nil {
+		r.err = errors.New(msg)
+	}
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.data)-r.off < n {
+		r.fail("truncated frame")
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32    { return int32(r.u32()) }
+func (r *reader) f64() float64  { return math.Float64frombits(r.u64()) }
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+// count reads a u32 element count and rejects any count that could not fit
+// in the remaining bytes given a per-element minimum — the guard that keeps
+// a hostile 4-byte prefix from provoking a giant allocation.
+func (r *reader) count(minElem int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int(n) > (len(r.data)-r.off)/minElem {
+		r.fail("element count exceeds frame size")
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// bytes returns a copy of a length-prefixed byte field (nil when empty) —
+// decoded messages must not alias the transport's frame buffer.
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if n == 0 || !r.need(n) {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return p
+}
+
+// Per-element minimum encoded sizes, used by count guards.
+const (
+	minServer  = 4
+	minPath    = 12 // node + servers count + NumAdvertised
+	minSpan    = 29
+	minAdvert  = 8
+	minDigest  = 8
+	minPayload = 36
+	minUpdate  = 17
+	minAttr    = 8
+)
+
+func (r *reader) servers() []core.ServerID {
+	n := r.count(minServer)
+	if n == 0 {
+		return nil
+	}
+	out := make([]core.ServerID, n)
+	for i := range out {
+		out[i] = core.ServerID(r.i32())
+	}
+	return out
+}
+
+func (r *reader) nodeMap() core.NodeMap {
+	m := core.NodeMap{Servers: r.servers()}
+	m.NumAdvertised = int(r.i32())
+	return m
+}
+
+func (r *reader) path() []core.PathEntry {
+	n := r.count(minPath)
+	if n == 0 {
+		return nil
+	}
+	out := make([]core.PathEntry, n)
+	for i := range out {
+		out[i].Node = core.NodeID(r.i32())
+		out[i].Map = r.nodeMap()
+	}
+	return out
+}
+
+func (r *reader) span() telemetry.Span {
+	return telemetry.Span{
+		Seq:             r.i32(),
+		Server:          r.i32(),
+		Node:            r.i32(),
+		Reason:          telemetry.HopReason(r.u8()),
+		QueueWaitMicros: int64(r.u64()),
+		ServiceMicros:   int64(r.u64()),
+	}
+}
+
+func (r *reader) spans() []telemetry.Span {
+	n := r.count(minSpan)
+	if n == 0 {
+		return nil
+	}
+	out := make([]telemetry.Span, n)
+	for i := range out {
+		out[i] = r.span()
+	}
+	return out
+}
+
+func (r *reader) meta() core.Meta {
+	m := core.Meta{Version: r.u64()}
+	n := r.count(minAttr)
+	if n == 0 {
+		return m
+	}
+	m.Attrs = make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		m.Attrs[k] = r.str()
+	}
+	return m
+}
+
+func (r *reader) piggy() core.Piggyback {
+	p := core.Piggyback{From: core.ServerID(r.i32()), Load: r.f64()}
+	if n := r.count(minAdvert); n > 0 {
+		p.Adverts = make([]core.Advert, n)
+		for i := range p.Adverts {
+			p.Adverts[i].Node = core.NodeID(r.i32())
+			p.Adverts[i].Servers = r.servers()
+		}
+	}
+	n := r.count(minDigest)
+	if n == 0 {
+		return p
+	}
+	p.Digests = make([]core.DigestUpdate, 0, n)
+	for i := 0; i < n; i++ {
+		server := core.ServerID(r.i32())
+		raw := int(r.u32())
+		if !r.need(raw) {
+			return p
+		}
+		f, err := bloom.Unmarshal(r.data[r.off : r.off+raw])
+		r.off += raw
 		if err != nil {
-			return p, fmt.Errorf("wire: digest from server %d: %w", d.Server, err)
+			r.fail(fmt.Sprintf("digest from server %d: %v", server, err))
+			return p
 		}
-		p.Digests = append(p.Digests, core.DigestUpdate{Server: core.ServerID(d.Server), Digest: f})
+		p.Digests = append(p.Digests, core.DigestUpdate{Server: server, Digest: f})
 	}
-	return p, nil
+	return p
 }
 
-// Encode serializes a protocol message.
-func Encode(m core.Message) ([]byte, error) {
-	var buf bytes.Buffer
-	var kind byte
-	var payload interface{}
-	switch v := m.(type) {
-	case *core.QueryMsg:
-		kind = kindQuery
-		payload = wireQuery{
-			QueryID: v.QueryID, Dest: int32(v.Dest), Source: int32(v.Source),
-			OnBehalf: int32(v.OnBehalf), Hops: int32(v.Hops), Started: v.Started,
-			PrevDist: v.PrevDist, Path: v.Path,
-			TraceID: v.TraceID, SpanBudget: v.SpanBudget, Spans: v.Spans,
-			Piggy: packPiggy(v.Piggy),
-		}
-	case *core.ResultMsg:
-		kind = kindResult
-		payload = wireResult{
-			QueryID: v.QueryID, Dest: int32(v.Dest), OK: v.OK, Reason: uint8(v.Reason),
-			Hops: int32(v.Hops), Started: v.Started, Meta: v.Meta, Map: v.Map,
-			Path: v.Path, TraceID: v.TraceID, Spans: v.Spans, Piggy: packPiggy(v.Piggy),
-		}
-	case *core.TraceSpanMsg:
-		kind = kindTraceSpan
-		payload = wireTraceSpan{TraceID: v.TraceID, Span: v.Span, Piggy: packPiggy(v.Piggy)}
-	case *core.LoadProbeMsg:
-		kind = kindLoadProbe
-		payload = wireLoadProbe{Session: v.Session, From: int32(v.From), Piggy: packPiggy(v.Piggy)}
-	case *core.LoadProbeReply:
-		kind = kindLoadProbeReply
-		payload = wireLoadProbeReply{Session: v.Session, From: int32(v.From), Load: v.Load, Piggy: packPiggy(v.Piggy)}
-	case *core.ReplicateRequest:
-		kind = kindReplicateReq
-		payload = wireReplicateReq{Session: v.Session, From: int32(v.From), Load: v.Load, Nodes: v.Nodes, Piggy: packPiggy(v.Piggy)}
-	case *core.ReplicateReply:
-		kind = kindReplicateReply
-		w := wireReplicateReply{SessionID: v.Session.ID, From: int32(v.Session.From), Load: v.Load, Piggy: packPiggy(v.Piggy)}
-		for _, n := range v.Accepted {
-			w.Accepted = append(w.Accepted, int32(n))
-		}
-		payload = w
-	case *core.DataRequest:
-		kind = kindDataRequest
-		payload = wireDataRequest{ReqID: v.ReqID, Node: int32(v.Node), From: int32(v.From), Piggy: packPiggy(v.Piggy)}
-	case *core.DataReply:
-		kind = kindDataReply
-		payload = wireDataReply{ReqID: v.ReqID, Node: int32(v.Node), OK: v.OK, Data: v.Data, From: int32(v.From), Piggy: packPiggy(v.Piggy)}
-	case *core.MembershipMsg:
-		kind = kindMembership
-		payload = wireMembership{
-			Kind: v.Kind, Seq: v.Seq, From: int32(v.From), Target: int32(v.Target),
-			Updates: v.Updates, Warmup: v.Warmup,
-		}
-	default:
-		return nil, fmt.Errorf("wire: unknown message type %T", m)
-	}
-	buf.WriteByte(kind)
-	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
-		return nil, fmt.Errorf("wire: encode %T: %w", m, err)
-	}
-	return buf.Bytes(), nil
-}
-
-// Decode deserializes a protocol message produced by Encode.
+// Decode deserializes a protocol message produced by Encode/AppendMessage.
+// Legacy (gob, wire ≤3) frames are classified as ErrVersion; every other
+// malformed input yields a descriptive error. Decode never panics.
 func Decode(data []byte) (core.Message, error) {
 	if len(data) < 2 {
 		return nil, fmt.Errorf("wire: short message (%d bytes)", len(data))
 	}
-	dec := gob.NewDecoder(bytes.NewReader(data[1:]))
-	switch data[0] {
-	case kindQuery:
-		var w wireQuery
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode query: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.QueryMsg{
-			QueryID: w.QueryID, Dest: core.NodeID(w.Dest), Source: core.ServerID(w.Source),
-			OnBehalf: core.NodeID(w.OnBehalf), Hops: int(w.Hops), Started: w.Started,
-			PrevDist: w.PrevDist, Path: w.Path,
-			TraceID: w.TraceID, SpanBudget: w.SpanBudget, Spans: w.Spans,
-			Piggy: pg,
-		}, nil
-	case kindResult:
-		var w wireResult
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode result: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.ResultMsg{
-			QueryID: w.QueryID, Dest: core.NodeID(w.Dest), OK: w.OK,
-			Reason: core.FailReason(w.Reason), Hops: int(w.Hops), Started: w.Started,
-			Meta: w.Meta, Map: w.Map, Path: w.Path,
-			TraceID: w.TraceID, Spans: w.Spans, Piggy: pg,
-		}, nil
-	case kindLoadProbe:
-		var w wireLoadProbe
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode probe: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.LoadProbeMsg{Session: w.Session, From: core.ServerID(w.From), Piggy: pg}, nil
-	case kindLoadProbeReply:
-		var w wireLoadProbeReply
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode probe reply: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.LoadProbeReply{Session: w.Session, From: core.ServerID(w.From), Load: w.Load, Piggy: pg}, nil
-	case kindReplicateReq:
-		var w wireReplicateReq
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode replicate request: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.ReplicateRequest{Session: w.Session, From: core.ServerID(w.From), Load: w.Load, Nodes: w.Nodes, Piggy: pg}, nil
-	case kindReplicateReply:
-		var w wireReplicateReply
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode replicate reply: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		rep := &core.ReplicateReply{
-			Session: core.ServerSession{ID: w.SessionID, From: core.ServerID(w.From)},
-			Load:    w.Load, Piggy: pg,
-		}
-		for _, n := range w.Accepted {
-			rep.Accepted = append(rep.Accepted, core.NodeID(n))
-		}
-		return rep, nil
-	case kindDataRequest:
-		var w wireDataRequest
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode data request: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.DataRequest{ReqID: w.ReqID, Node: core.NodeID(w.Node), From: core.ServerID(w.From), Piggy: pg}, nil
-	case kindDataReply:
-		var w wireDataReply
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode data reply: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.DataReply{ReqID: w.ReqID, Node: core.NodeID(w.Node), OK: w.OK, Data: w.Data, From: core.ServerID(w.From), Piggy: pg}, nil
-	case kindMembership:
-		var w wireMembership
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode membership: %w", err)
-		}
-		return &core.MembershipMsg{
-			Kind: w.Kind, Seq: w.Seq, From: core.ServerID(w.From), Target: core.ServerID(w.Target),
-			Updates: w.Updates, Warmup: w.Warmup,
-		}, nil
-	case kindTraceSpan:
-		var w wireTraceSpan
-		if err := dec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("wire: decode trace span: %w", err)
-		}
-		pg, err := unpackPiggy(w.Piggy)
-		if err != nil {
-			return nil, err
-		}
-		return &core.TraceSpanMsg{TraceID: w.TraceID, Span: w.Span, Piggy: pg}, nil
-	default:
-		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
+	if data[0] >= kindQuery && data[0] <= kindMembership {
+		return nil, fmt.Errorf("%w: legacy gob frame (kind %d, wire ≤3)", ErrVersion, data[0])
 	}
+	if data[0] != Magic {
+		return nil, fmt.Errorf("wire: unknown frame marker 0x%02x", data[0])
+	}
+	kind := data[1]
+	r := &reader{data: data, off: 2}
+	var m core.Message
+	switch kind {
+	case kindQuery:
+		q := &core.QueryMsg{QueryID: r.u64(), Dest: core.NodeID(r.i32()),
+			Source: core.ServerID(r.i32()), OnBehalf: core.NodeID(r.i32()),
+			Hops: int(r.i32()), Started: r.f64(), PrevDist: r.i32(), Path: r.path(),
+			TraceID: r.u64(), SpanBudget: r.i32(), Spans: r.spans()}
+		q.Piggy = r.piggy()
+		m = q
+	case kindResult:
+		res := &core.ResultMsg{QueryID: r.u64(), Dest: core.NodeID(r.i32()),
+			OK: r.boolean(), Reason: core.FailReason(r.u8()), Hops: int(r.i32()),
+			Started: r.f64(), Meta: r.meta(), Map: r.nodeMap(), Path: r.path(),
+			TraceID: r.u64(), Spans: r.spans()}
+		res.Piggy = r.piggy()
+		m = res
+	case kindTraceSpan:
+		ts := &core.TraceSpanMsg{TraceID: r.u64(), Span: r.span()}
+		ts.Piggy = r.piggy()
+		m = ts
+	case kindLoadProbe:
+		p := &core.LoadProbeMsg{Session: r.u64(), From: core.ServerID(r.i32())}
+		p.Piggy = r.piggy()
+		m = p
+	case kindLoadProbeReply:
+		p := &core.LoadProbeReply{Session: r.u64(), From: core.ServerID(r.i32()), Load: r.f64()}
+		p.Piggy = r.piggy()
+		m = p
+	case kindReplicateReq:
+		req := &core.ReplicateRequest{Session: r.u64(), From: core.ServerID(r.i32()), Load: r.f64()}
+		if n := r.count(minPayload); n > 0 {
+			req.Nodes = make([]core.ReplicaPayload, n)
+			for i := range req.Nodes {
+				p := &req.Nodes[i]
+				p.Node = core.NodeID(r.i32())
+				p.Meta = r.meta()
+				p.SelfMap = r.nodeMap()
+				p.WeightHint = r.f64()
+				if nn := r.count(minPath); nn > 0 {
+					p.Neighbors = make([]core.NeighborMap, nn)
+					for j := range p.Neighbors {
+						p.Neighbors[j].Node = core.NodeID(r.i32())
+						p.Neighbors[j].Map = r.nodeMap()
+					}
+				}
+			}
+		}
+		req.Piggy = r.piggy()
+		m = req
+	case kindReplicateReply:
+		rep := &core.ReplicateReply{Session: core.ServerSession{ID: r.u64(), From: core.ServerID(r.i32())}}
+		if n := r.count(minServer); n > 0 {
+			rep.Accepted = make([]core.NodeID, n)
+			for i := range rep.Accepted {
+				rep.Accepted[i] = core.NodeID(r.i32())
+			}
+		}
+		rep.Load = r.f64()
+		rep.Piggy = r.piggy()
+		m = rep
+	case kindDataRequest:
+		req := &core.DataRequest{ReqID: r.u64(), Node: core.NodeID(r.i32()), From: core.ServerID(r.i32())}
+		req.Piggy = r.piggy()
+		m = req
+	case kindDataReply:
+		rep := &core.DataReply{ReqID: r.u64(), Node: core.NodeID(r.i32()),
+			OK: r.boolean(), Data: r.bytes(), From: core.ServerID(r.i32())}
+		rep.Piggy = r.piggy()
+		m = rep
+	case kindMembership:
+		mm := &core.MembershipMsg{Kind: r.u8(), Seq: r.u64(),
+			From: core.ServerID(r.i32()), Target: core.ServerID(r.i32())}
+		if n := r.count(minUpdate); n > 0 {
+			mm.Updates = make([]core.MemberUpdate, n)
+			for i := range mm.Updates {
+				u := &mm.Updates[i]
+				u.Server = core.ServerID(r.i32())
+				u.State = r.u8()
+				u.Incarnation = r.u64()
+				u.Addr = r.str()
+			}
+		}
+		mm.Warmup = r.path()
+		m = mm
+	default:
+		return nil, fmt.Errorf("wire: unknown kind %d", kind)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decode kind %d: %w", kind, r.err)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("wire: decode kind %d: %d trailing bytes", kind, len(data)-r.off)
+	}
+	return m, nil
 }
+
+// ---------------------------------------------------------------------------
+// Framing
 
 // WriteFrame writes a length-prefixed message frame.
 func WriteFrame(w io.Writer, data []byte) error {
