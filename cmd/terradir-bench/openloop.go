@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"terradir/internal/core"
+	"terradir/internal/namespace"
+	"terradir/internal/overlay"
+)
+
+// openLoopConfig parameterizes one fixed-arrival-rate run against an
+// in-process LocalCluster.
+type openLoopConfig struct {
+	Servers  int
+	Shards   int
+	Rate     float64 // offered lookups/sec across the whole cluster
+	Duration time.Duration
+	Clients  int // worker goroutines sharing the arrival schedule
+	Seed     uint64
+}
+
+// openLoopResult is the machine-readable outcome of one open-loop run.
+type openLoopResult struct {
+	Servers      int     `json:"servers"`
+	Shards       int     `json:"shards"`
+	OfferedRate  float64 `json:"offered_rate_lps"`
+	AchievedRate float64 `json:"achieved_rate_lps"`
+	Arrivals     int     `json:"arrivals"`
+	Failures     int     `json:"failures"`
+	P50Micros    float64 `json:"p50_us"`
+	P90Micros    float64 `json:"p90_us"`
+	P99Micros    float64 `json:"p99_us"`
+	P999Micros   float64 `json:"p999_us"`
+	MaxMicros    float64 `json:"max_us"`
+}
+
+// runOpenLoop drives the cluster at a fixed arrival rate and measures each
+// lookup's latency from its SCHEDULED start, not its actual issue time — the
+// coordinated-omission-safe convention. A closed loop (issue, wait, repeat)
+// lets a slow server throttle its own load generator, hiding queueing delay
+// exactly when the system saturates; here late lookups charge their full
+// schedule slip to the percentiles instead.
+func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
+	tree := namespace.NewBalanced(2, 8)
+	opts := overlay.LocalClusterOptions{Servers: cfg.Servers, Seed: cfg.Seed}
+	opts.Node.Shards = cfg.Shards
+	c, err := overlay.NewLocalCluster(tree, opts)
+	if err != nil {
+		return openLoopResult{}, err
+	}
+	defer c.StopAll()
+
+	ctx := context.Background()
+	n := tree.Len()
+	// Warm path-propagation caches so the run measures steady-state routing.
+	for i := 0; i < 2*n; i++ {
+		if _, err := c.Lookup(ctx, i%cfg.Servers, core.NodeID((i*7919+3)%n)); err != nil {
+			return openLoopResult{}, err
+		}
+	}
+
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	latencies := make([]time.Duration, total)
+	var failures atomic.Int64
+
+	start := time.Now().Add(50 * time.Millisecond) // let workers reach their first sleep
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stride partitioning: worker w owns arrivals w, w+C, w+2C, ...
+			// so the aggregate schedule is the fixed-rate arrival process and
+			// no worker ever waits on another's lookup.
+			for i := w; i < total; i += cfg.Clients {
+				due := start.Add(time.Duration(i) * interval)
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				res, err := c.Lookup(ctx, i%cfg.Servers, core.NodeID((i*104729+1)%n))
+				if err != nil || !res.OK {
+					failures.Add(1)
+				}
+				latencies[i] = time.Since(due)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(total-1))
+		return float64(latencies[idx]) / float64(time.Microsecond)
+	}
+	return openLoopResult{
+		Servers:      cfg.Servers,
+		Shards:       cfg.Shards,
+		OfferedRate:  cfg.Rate,
+		AchievedRate: float64(total) / elapsed.Seconds(),
+		Arrivals:     total,
+		Failures:     int(failures.Load()),
+		P50Micros:    pct(0.50),
+		P90Micros:    pct(0.90),
+		P99Micros:    pct(0.99),
+		P999Micros:   pct(0.999),
+		MaxMicros:    float64(latencies[total-1]) / float64(time.Microsecond),
+	}, nil
+}
+
+// openLoopMain is the -openloop entry point: run the configured sweep and
+// print one JSON object per line (shard count × rate).
+func openLoopMain(servers, clients int, shardList []int, rates []float64, dur time.Duration, seed uint64) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, shards := range shardList {
+		for _, rate := range rates {
+			cfg := openLoopConfig{
+				Servers:  servers,
+				Shards:   shards,
+				Rate:     rate,
+				Duration: dur,
+				Clients:  clients,
+				Seed:     seed,
+			}
+			r, err := runOpenLoop(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "terradir-bench: openloop shards=%d rate=%g: %v\n", shards, rate, err)
+				os.Exit(1)
+			}
+			enc.Encode(r)
+		}
+	}
+}

@@ -55,7 +55,7 @@ func (p *Peer) afterQuery() {
 func (p *Peer) startSession() {
 	p.nextSession++
 	p.sess = replSession{
-		id:    p.nextSession,
+		id:    p.sessionBase | p.nextSession,
 		tried: make(map[ServerID]bool),
 	}
 	p.Stats.SessionsStarted++
@@ -311,6 +311,10 @@ func (p *Peer) installReplica(pl *ReplicaPayload, from ServerID) bool {
 	}
 	max := p.maxReplicas()
 	if max <= 0 {
+		return false
+	}
+	if !p.AcceptsHosted(pl.Node) {
+		// Another shard's partition: only its home shard may host it.
 		return false
 	}
 	// Make room under Frepl by evicting lowest-ranked replicas (§3.5) — but

@@ -112,6 +112,17 @@ func (p *Peer) HandleQuery(q *QueryMsg) {
 		}
 		skip[cand] = true
 	}
+	// Authoritative escape: with a sharded server's partition-local view,
+	// candidate selection can stall (no usable map) or cycle between stale
+	// maps without ever converging. Fall back to the overlay's ownership
+	// table — forward straight to the destination's owner — when there is no
+	// candidate or the query has burned half its hop budget.
+	if p.ownerHint != nil && (target == NoServer || int(q.Hops) >= p.cfg.MaxHops/2) {
+		if o := p.ownerHint(q.Dest); o != NoServer && o != p.ID {
+			target, onBehalf, newDist = o, q.Dest, 0
+			reason = telemetry.HopOwner
+		}
+	}
 	if target == NoServer {
 		p.sendFail(q, FailNoRoute)
 		p.afterQuery()

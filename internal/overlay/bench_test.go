@@ -12,7 +12,9 @@ import (
 func benchCluster(b *testing.B, servers int) *LocalCluster {
 	b.Helper()
 	tree := testTree()
-	c, err := NewLocalCluster(tree, LocalClusterOptions{Servers: servers, Seed: 11})
+	opts := LocalClusterOptions{Servers: servers, Seed: 11}
+	opts.Node.Shards = *testShards
+	c, err := NewLocalCluster(tree, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -76,7 +76,8 @@ func TestTCPChurnE2E(t *testing.T) {
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		nd, err := NewNode(core.ServerID(i), tree, ownedBy[i], ownerOf, Options{
-			Seed: uint64(i) + 1,
+			Seed:   uint64(i) + 1,
+			Shards: *testShards,
 			Membership: &MembershipOptions{
 				Protocol: churnProto(i),
 				Servers:  n,
@@ -186,7 +187,7 @@ func TestTCPChurnE2E(t *testing.T) {
 				i, victimNode, got, successor)
 		}
 		var purges int64
-		if !nodes[i].Inspect(func(p *core.Peer) { purges = p.Stats.ServerPurges }) {
+		if !nodes[i].Inspect(func(p *core.Peer) { purges += p.Stats.ServerPurges }) {
 			t.Fatalf("server %d stopped unexpectedly", i)
 		}
 		if purges == 0 {
@@ -194,7 +195,7 @@ func TestTCPChurnE2E(t *testing.T) {
 		}
 	}
 	var adopted int
-	nodes[successor].Inspect(func(p *core.Peer) { adopted = p.AdoptedCount() })
+	nodes[successor].Inspect(func(p *core.Peer) { adopted += p.AdoptedCount() })
 	if adopted == 0 {
 		t.Error("ring successor adopted none of the dead server's partition")
 	}
@@ -213,7 +214,8 @@ func TestTCPChurnE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 	fresh, err := NewNode(victim, tree, ownedBy[victim], ownerOf, Options{
-		Seed: 99,
+		Seed:   99,
+		Shards: *testShards,
 		Membership: &MembershipOptions{
 			Protocol: churnProto(int(victim) + 50),
 			Servers:  n,
@@ -246,13 +248,13 @@ func TestTCPChurnE2E(t *testing.T) {
 			}
 		}
 		var stillAdopted int
-		nodes[successor].Inspect(func(p *core.Peer) { stillAdopted = p.AdoptedCount() })
+		nodes[successor].Inspect(func(p *core.Peer) { stillAdopted += p.AdoptedCount() })
 		return stillAdopted == 0
 	})
 	// The joiner was warmed up with replica advertisements from the survivors.
 	wait(10*time.Second, "the joiner to absorb warmup state", func() bool {
 		warm := false
-		fresh.Inspect(func(p *core.Peer) { warm = p.CacheLen() > 0 || p.ReplicaCount() > 0 })
+		fresh.Inspect(func(p *core.Peer) { warm = warm || p.CacheLen() > 0 || p.ReplicaCount() > 0 })
 		return warm
 	})
 

@@ -57,9 +57,10 @@ func (n *Node) fetchData(ctx context.Context, host core.ServerID, dest core.Node
 	}
 	req := &core.DataRequest{ReqID: reqID, Node: dest, From: n.id}
 	if host == n.id {
-		// Local fast path.
+		// Local fast path. DataOf only reads immutable stored bytes, but
+		// route through the owning shard's view for consistency.
 		cleanup()
-		if data, ok := n.peer.DataOf(dest); ok {
+		if data, ok := n.shardFor(dest).peer.DataOf(dest); ok {
 			return data, nil
 		}
 		return nil, errNoData
@@ -142,10 +143,10 @@ func (n *Node) Search(ctx context.Context, prefix string, maxDepth, limit int) (
 }
 
 // StoreData stores application data on a node this server owns. Call before
-// Start (or after Stop): while the node is running, its loop owns the peer.
+// Start (or after Stop): while the node is running, its loops own the peers.
 // It reports whether this server owns the node.
 func (n *Node) StoreData(nd core.NodeID, data []byte) bool {
-	return n.peer.SetData(nd, data)
+	return n.shardFor(nd).peer.SetData(nd, data)
 }
 
 // Snapshot is a point-in-time view of a live node's protocol state, safe to
@@ -162,22 +163,31 @@ type Snapshot struct {
 	Transport TransportStats
 }
 
-// Snapshot collects monitoring counters from the node.
+// Snapshot collects monitoring counters from the node, aggregated across
+// shards: counts and stats sum, load averages (so a sharded server reports a
+// load comparable to an unsharded one).
 func (n *Node) Snapshot() Snapshot {
 	s := Snapshot{
 		ID:      n.id,
 		Dropped: n.dropped.Load(),
 	}
-	collect := func(p *core.Peer) {
-		s.Owned = p.OwnedCount()
-		s.Replicas = p.ReplicaCount()
-		s.Cache = p.CacheLen()
-		s.Load = n.meter.Load(time.Since(n.epoch).Seconds())
-		s.Stats = p.StatsView()
+	now := time.Since(n.epoch).Seconds()
+	// Inside runOnShards the whole node is quiescent and fn runs sequentially
+	// on this goroutine, so plain accumulation is safe.
+	collect := func(sh *shard) {
+		p := sh.peer
+		s.Owned += p.OwnedCount()
+		s.Replicas += p.ReplicaCount()
+		s.Cache += p.CacheLen()
+		s.Load += sh.meter.Load(now)
+		s.Stats.Accumulate(p.StatsView())
 	}
-	if !n.Inspect(collect) {
-		collect(n.peer) // node stopped: the loop is quiescent
+	if !n.runOnShards(false, collect) {
+		for _, sh := range n.shards { // node stopped: the loops are quiescent
+			collect(sh)
+		}
 	}
+	s.Load /= float64(len(n.shards))
 	s.Transport, _ = n.TransportStats()
 	return s
 }

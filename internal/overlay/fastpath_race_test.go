@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,17 +12,29 @@ import (
 )
 
 // TestFastPathRaceStress hammers the lock-free lookup fast path from many
-// client goroutines while the event loop concurrently rewrites routing
+// client goroutines while the event loops concurrently rewrite routing
 // state underneath it: soft-state learning (LearnMaps), server purges
 // (PurgeServer, which scrubs cache entries, replica maps, and neighbor
 // references), and the snapshot republishes each mutation triggers. Every
 // mutation goes through Inspect, so the readers race only against the
-// atomic snapshot swap — exactly the invariant the copy-on-write design
-// must hold. Run under -race; it is the detector, not assertions here,
-// that gives this test its teeth.
+// atomic snapshot swaps — exactly the invariant the copy-on-write design
+// must hold. At shard counts above one, each Inspect is a cross-shard
+// quiescence barrier interleaved with per-shard fast serves, covering the
+// sharded learn-gating too. Run under -race; it is the detector, not
+// assertions here, that gives this test its teeth.
 func TestFastPathRaceStress(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runFastPathRaceStress(t, shards)
+		})
+	}
+}
+
+func runFastPathRaceStress(t *testing.T, shards int) {
 	tree := testTree()
-	c, err := NewLocalCluster(tree, LocalClusterOptions{Servers: 4, Seed: 23})
+	opts := LocalClusterOptions{Servers: 4, Seed: 23}
+	opts.Node.Shards = shards
+	c, err := NewLocalCluster(tree, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

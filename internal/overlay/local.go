@@ -297,7 +297,7 @@ func (c *LocalCluster) StopAll() {
 func (c *LocalCluster) TotalReplicas() int {
 	total := 0
 	for _, n := range c.nodes {
-		total += n.Peer().ReplicaCount()
+		total += n.ReplicaCount()
 	}
 	return total
 }

@@ -78,14 +78,10 @@ func (n *Node) startMembership() {
 			_ = n.transport.Send(n.id, to, m) // soft state: losses tolerated
 		},
 		OnEvent: func(ev membership.Event) {
-			// Funnel into the event loop: the peer is single-threaded. Marked
-			// learn — purges and handoffs must reach the routing snapshot
-			// before the fast path serves another query.
-			n.learnSeq.Add(1)
-			select {
-			case n.control <- envelope{fn: func() { n.handleMembershipEvent(ev) }, learn: true}:
-			case <-n.stop:
-			}
+			// Runs on the membership goroutine; handleMembershipEvent parks
+			// every shard loop (runOnShards) so purges and handoffs apply
+			// atomically across the whole server's soft state.
+			n.handleMembershipEvent(ev)
 		},
 	}
 	if as, ok := n.transport.(AddrSetter); ok {
@@ -100,9 +96,15 @@ func (n *Node) startMembership() {
 	n.membership.Start()
 }
 
-// handleMembershipEvent runs in the node's event loop: it folds a liveness
-// transition into the ownership table, repairs soft state, and applies any
-// partition handoff that lands on (or leaves) this server.
+// handleMembershipEvent runs on the membership goroutine: it folds a liveness
+// transition into the ownership table, then parks every shard loop
+// (runOnShards, a server-wide quiescence barrier) to repair soft state and
+// apply any partition handoff that lands on (or leaves) this server. The
+// barrier is what keeps PurgeServer and ownership changes atomic from the
+// overlay's view even though the server is internally sharded: no shard can
+// route a query between "shard A purged" and "shard B purged". The barrier
+// is learn-marked, so every shard republishes its snapshot before the fast
+// path serves again.
 func (n *Node) handleMembershipEvent(ev membership.Event) {
 	if n.ownership == nil || ev.ID == n.id {
 		return
@@ -110,58 +112,115 @@ func (n *Node) handleMembershipEvent(ev membership.Event) {
 	switch ev.State {
 	case membership.Dead:
 		changes := n.ownership.SetAlive(ev.ID, false)
+		// The result cache may hold maps naming the dead server; scrub it
+		// outside the barrier (it has its own lock) and mark the server dead
+		// so in-flight results cannot re-insert it.
+		n.purgeResults(ev.ID)
 		// Soft-state repair: drop every cached/replicated reference to the
 		// dead server, reseeding emptied maps from the post-handoff owner.
-		// The result cache may hold maps pointing at the dead server too.
-		n.peer.PurgeServer(ev.ID, n.ownership.Owner)
-		n.forgetResults()
-		n.applyReassignments(changes)
+		n.runOnShards(true, func(s *shard) {
+			s.peer.PurgeServer(ev.ID, n.ownership.Owner)
+			n.applyReassignments(s, changes)
+			n.reseedStarved(s)
+		})
+		n.kickCoordinator()
 	case membership.Alive:
 		changes := n.ownership.SetAlive(ev.ID, true)
-		n.applyReassignments(changes)
-		if ev.Joined || ev.Prev == membership.Dead {
+		n.reviveResults(ev.ID)
+		warm := ev.Joined || ev.Prev == membership.Dead
+		max := n.opts.Membership.WarmupEntries
+		if max == 0 {
+			max = defaultWarmupEntries
+		}
+		// Collect each shard's warmup slice inside the barrier (fn runs
+		// sequentially on this goroutine, so plain appends are safe), then
+		// merge and send after the loops resume.
+		var perShard [][]core.PathEntry
+		n.runOnShards(true, func(s *shard) {
+			n.applyReassignments(s, changes)
+			if warm && max > 0 && ev.ID != n.id {
+				perShard = append(perShard, s.peer.BuildWarmup(max))
+			}
+		})
+		if entries := mergeWarmup(perShard, max); len(entries) > 0 {
 			// A newly admitted or returned member starts cold: stream it a
 			// bounded slice of our hottest hosted maps (which also announces
 			// our own owned-partition claim to a joiner).
-			n.sendWarmup(ev.ID)
+			_ = n.transport.Send(n.id, ev.ID, &core.MembershipMsg{
+				Kind: core.MembershipWarmup, From: n.id, Warmup: entries,
+			})
 		}
+		n.kickCoordinator()
 	}
 }
 
 // applyReassignments adopts or releases provisional ownership for every
-// handoff that involves this server. Other servers' handoffs need no local
-// action beyond the ownership table itself (routing consults it lazily).
-func (n *Node) applyReassignments(changes []membership.Reassignment) {
+// handoff that involves this server and falls in shard s's partition. Other
+// servers' handoffs need no local action beyond the ownership table itself
+// (routing consults it lazily). Runs inside a runOnShards barrier.
+func (n *Node) applyReassignments(s *shard, changes []membership.Reassignment) {
 	for _, ch := range changes {
+		if len(n.shards) > 1 && n.shardOf(ch.Node) != s.idx {
+			continue
+		}
 		switch {
 		case ch.To == n.id:
-			n.peer.AdoptOwnership(ch.Node, n.ownership.Owner)
+			s.peer.AdoptOwnership(ch.Node, n.ownership.Owner)
 		case ch.From == n.id:
-			n.peer.ReleaseOwnership(ch.Node)
+			s.peer.ReleaseOwnership(ch.Node)
 		}
 	}
 }
 
-// sendWarmup ships a warmup frame (bounded ranked hosted maps) to a member.
-// Runs in the event loop; the peer state is read synchronously.
-func (n *Node) sendWarmup(to core.ServerID) {
-	if to == n.id {
+// reseedStarved re-bootstraps a shard whose purge left it with no routing
+// state at all (nothing owned, hosted, or cached): without at least a root
+// seed the shard could only fail its partition's queries. Mirrors the
+// bootstrap seeding in NewNode, but against the live ownership table.
+func (n *Node) reseedStarved(s *shard) {
+	if len(n.shards) <= 1 {
 		return
 	}
-	max := n.opts.Membership.WarmupEntries
-	if max == 0 {
-		max = defaultWarmupEntries
-	}
-	if max < 0 {
+	p := s.peer
+	if p.OwnedCount() > 0 || p.ReplicaCount() > 0 || p.CacheLen() > 0 {
 		return
 	}
-	entries := n.peer.BuildWarmup(max)
-	if len(entries) == 0 {
-		return
+	root := n.tree.Root()
+	if o := n.ownership.Owner(root); o != n.id && o != core.NoServer {
+		p.SeedCache(root, core.SingleServerMap(o))
 	}
-	_ = n.transport.Send(n.id, to, &core.MembershipMsg{
-		Kind: core.MembershipWarmup, From: n.id, Warmup: entries,
-	})
+}
+
+// mergeWarmup interleaves per-shard warmup slices round-robin (each is
+// ranked hottest-first, so interleaving keeps the merged stream's prefix
+// representative of the whole server) and truncates to max.
+func mergeWarmup(perShard [][]core.PathEntry, max int) []core.PathEntry {
+	total := 0
+	for _, sl := range perShard {
+		total += len(sl)
+	}
+	if total > max {
+		total = max
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]core.PathEntry, 0, total)
+	for i := 0; len(out) < total; i++ {
+		advanced := false
+		for _, sl := range perShard {
+			if i < len(sl) {
+				advanced = true
+				out = append(out, sl[i])
+				if len(out) == total {
+					break
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return out
 }
 
 // Membership returns the node's membership service (nil when the subsystem

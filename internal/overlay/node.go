@@ -63,6 +63,12 @@ type Options struct {
 	// failure detection, versioned ownership handoff, soft-state purging of
 	// dead servers, and join/warmup admission. See MembershipOptions.
 	Membership *MembershipOptions
+	// Shards partitions the node's hosted nodes and soft state across this
+	// many independently scheduled single-writer event loops, keyed by
+	// namespace subtree (DESIGN.md §11) — the multi-core scale-up knob.
+	// Default 1 (the classic single loop). Values above 1 require
+	// Config.CachingEnabled (shard bootstrap routes live in the cache).
+	Shards int
 }
 
 func (o *Options) fill(id core.ServerID) {
@@ -71,6 +77,12 @@ func (o *Options) fill(id core.ServerID) {
 	}
 	if o.QueueCap <= 0 {
 		o.QueueCap = 64
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > 64 {
+		o.Shards = 64
 	}
 	if o.LoadWindow <= 0 {
 		o.LoadWindow = 500 * time.Millisecond
@@ -120,11 +132,21 @@ type Transport interface {
 // TransportStats is a point-in-time snapshot of a transport's counters.
 // Counters are cumulative; QueueDepth is a gauge. Transports that do not
 // implement a given counter leave it zero.
+//
+// The queued outbound path conserves messages exactly:
+//
+//	Enqueued == Sent + QueueDrops + WriteErrors + QueueDepth
+//
+// holds at any quiescent moment (no Send in flight, writers idle), including
+// after Close — every accepted message is eventually written, dropped, or
+// still queued, and each is counted exactly once. SendTo (the bootstrap
+// direct-dial path) bypasses the queue and participates only in Sent,
+// WriteErrors, and the dial counters.
 type TransportStats struct {
 	Enqueued      uint64 // messages accepted into an outbound queue
 	Sent          uint64 // frames written to a socket
 	Flushes       uint64 // socket writes (each carries >=1 coalesced frames)
-	QueueDrops    uint64 // messages evicted from full outbound queues (drop-oldest)
+	QueueDrops    uint64 // messages dropped without a write attempt: queue-full evictions (drop-oldest), and queued frames abandoned when a sender retires (SetAddr) or the transport closes
 	WriteErrors   uint64 // frames lost to write failures or expired deadlines
 	Dials         uint64 // successful connection attempts
 	DialErrors    uint64 // failed connection attempts
@@ -168,20 +190,27 @@ type envelope struct {
 	learn bool
 }
 
-// Node is one live TerraDir server.
+// Node is one live TerraDir server. Its hosted nodes and soft state live in
+// one or more shards (Options.Shards), each a single-writer event loop over
+// its own core.Peer; see shards.go and DESIGN.md §11.
 type Node struct {
 	id        core.ServerID
 	tree      *namespace.Tree
-	peer      *core.Peer
 	opts      Options
 	transport Transport
 
-	epoch   time.Time
-	meter   *sim.LoadMeter
-	queries chan *core.QueryMsg
-	control chan envelope
-	stop    chan struct{}
-	done    chan struct{}
+	epoch    time.Time
+	shards   []*shard
+	shardTbl []int32 // node → shard index (all zero at one shard)
+	stop     chan struct{}
+
+	// barrier serializes runOnShards callers (see shards.go).
+	barrier sync.Mutex
+
+	// Digest coordinator (sharded nodes with digests enabled; see shards.go).
+	digestGen atomic.Uint64
+	coordKick chan struct{}
+	coordDone chan struct{}
 
 	nextQID atomic.Uint64
 	dropped atomic.Int64
@@ -198,25 +227,25 @@ type Node struct {
 	latencyHist   *telemetry.Histogram
 	hopsHist      *telemetry.Histogram
 
-	// Lock-free snapshot fast path (see core.RouteSnapshot). sendFn/absorbFn
-	// are bound once so per-query fast serves allocate no closures.
-	// learnSeq counts learn-marked envelopes enqueued; learnPub counts those
-	// whose effects have been published in a snapshot. While they differ the
-	// fast path declines queries, which routes them through the loop behind
-	// the pending learns (control drains before queries) — sequential callers
-	// get exactly the loop's read-your-writes ordering.
-	learnSeq    atomic.Uint64
-	learnPub    atomic.Uint64
+	// Lock-free snapshot fast path (see core.RouteSnapshot). sendFn is bound
+	// once so per-query fast serves allocate no closures. Learn gating
+	// (learnSeq/learnPub) lives per shard: while a shard's counters differ,
+	// its fast path declines queries, which routes them through that shard's
+	// loop behind the pending learns (control drains before queries) —
+	// sequential callers get exactly the loop's read-your-writes ordering.
 	fastEnabled bool
 	// resMaps remembers the host maps of recently completed local lookups so
 	// the fast path sees its own results immediately, without waiting for the
 	// loop to absorb them into the next snapshot (read-your-writes for the
-	// common case). Bounded by resCap; advisory only.
+	// common case). Bounded by resCap; advisory only. deadSrv marks servers
+	// currently considered dead by membership: entries naming them are
+	// dropped and late results naming them are filtered, so a cached result
+	// can never replay a purged server to callers.
 	resMu           sync.RWMutex
 	resMaps         map[core.NodeID]core.NodeMap
 	resCap          int
+	deadSrv         map[core.ServerID]struct{}
 	sendFn          func(core.ServerID, core.Message)
-	absorbFn        func(core.Piggyback, []core.PathEntry)
 	fastResolved    *telemetry.Counter
 	fastForwarded   *telemetry.Counter
 	fastFailed      *telemetry.Counter
@@ -228,66 +257,105 @@ type Node struct {
 	pendingData map[uint64]chan *core.DataReply
 }
 
-type nodeEnv struct{ n *Node }
-
-func (e nodeEnv) Now() float64 { return time.Since(e.n.epoch).Seconds() }
-func (e nodeEnv) Load() float64 {
-	return e.n.meter.Load(time.Since(e.n.epoch).Seconds())
-}
-func (e nodeEnv) Send(to core.ServerID, m core.Message) {
-	if to == e.n.id {
-		// Local shortcut: loop back through our own inbox without the
-		// transport (same as the simulator's zero-delay self-delivery).
-		e.n.Deliver(m)
-		return
-	}
-	_ = e.n.transport.Send(e.n.id, to, m) // soft state: losses tolerated
-}
-func (e nodeEnv) After(d float64, fn func()) {
-	n := e.n
-	time.AfterFunc(time.Duration(d*float64(time.Second)), func() {
-		select {
-		case n.control <- envelope{fn: fn}:
-		case <-n.stop:
-		}
-	})
-}
-
 // NewNode constructs a node owning the given namespace nodes. ownerOf must
 // report the initial owner of every node (all processes in a deployment must
 // agree on it; see Assign). Call Start to begin processing and SetTransport
 // beforehand.
 func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerOf func(core.NodeID) core.ServerID, opts Options) (*Node, error) {
 	opts.fill(id)
+	if opts.Shards > 1 && !opts.Config.CachingEnabled {
+		return nil, fmt.Errorf("overlay: Shards = %d requires Config.CachingEnabled (shard bootstrap routes live in the cache)", opts.Shards)
+	}
 	n := &Node{
 		id:          id,
 		tree:        tree,
 		opts:        opts,
 		epoch:       time.Now(),
-		meter:       sim.NewLoadMeter(opts.LoadWindow.Seconds()),
-		queries:     make(chan *core.QueryMsg, opts.QueueCap),
-		control:     make(chan envelope, 1024),
 		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
+		deadSrv:     make(map[core.ServerID]struct{}),
 		pending:     make(map[uint64]chan LookupResult),
 		pendingData: make(map[uint64]chan *core.DataReply),
 	}
-	peer, err := core.NewPeer(id, tree, opts.Config, nodeEnv{n}, rng.New(opts.Seed))
-	if err != nil {
-		return nil, err
-	}
+	n.shardTbl = buildShardTable(tree, opts.Shards)
+	ownedBy := make([][]core.NodeID, opts.Shards)
 	for _, nd := range owned {
-		peer.AddOwned(nd, core.Meta{})
+		si := int(n.shardTbl[nd])
+		ownedBy[si] = append(ownedBy[si], nd)
 	}
-	peer.FinishSetup(ownerOf)
-	n.peer = peer
 	n.reg = opts.Registry
 	n.traces = telemetry.NewTraceStore(opts.TraceCap)
 	server := []string{"server", fmt.Sprint(id)}
-	peer.AttachTelemetry(n.reg, server...)
+	// Queue capacity is a per-server admission bound; split it across shards.
+	queueCap := (opts.QueueCap + opts.Shards - 1) / opts.Shards
+	latencyLayout := telemetry.HistogramOpts{Min: 1e-6, Max: 1e3, BucketsPerDecade: 8}
+	for i := 0; i < opts.Shards; i++ {
+		s := &shard{
+			n:       n,
+			idx:     i,
+			meter:   sim.NewLoadMeter(opts.LoadWindow.Seconds()),
+			queries: make(chan *core.QueryMsg, queueCap),
+			control: make(chan envelope, 1024),
+			done:    make(chan struct{}),
+		}
+		peer, err := core.NewPeer(id, tree, opts.Config, shardEnv{s}, rng.New(opts.Seed+uint64(i)*0x9e3779b9))
+		if err != nil {
+			return nil, err
+		}
+		for _, nd := range ownedBy[i] {
+			peer.AddOwned(nd, core.Meta{})
+		}
+		peer.FinishSetup(ownerOf)
+		if opts.Shards > 1 {
+			idx := i
+			keyDepth := shardKeyDepth(tree, opts.Shards)
+			// Cache creation: own partition plus the shared top of the tree
+			// (every lookup's ancestor chain crosses it; see shardKeyDepth).
+			peer.SetLearnFilter(func(nd core.NodeID) bool {
+				return n.shardOf(nd) == idx || tree.Depth(nd) < keyDepth
+			})
+			// Hosted state stays strictly partitioned: one writer per node.
+			peer.SetHostFilter(func(nd core.NodeID) bool { return n.shardOf(nd) == idx })
+			peer.SetSessionBase(uint64(i) << sessionTagShift)
+			// Routing escape for queries a partition-local view cannot make
+			// progress on (see core.Peer.SetOwnerHint): consult the live
+			// ownership table under membership, the static assignment
+			// otherwise.
+			peer.SetOwnerHint(func(nd core.NodeID) core.ServerID {
+				if n.ownership != nil {
+					return n.ownership.Owner(nd)
+				}
+				return ownerOf(nd)
+			})
+			if len(ownedBy[i]) == 0 {
+				// A shard owning nothing starts with no routing context at
+				// all; seed a route toward the namespace root so its first
+				// queries make progress instead of failing NoRoute.
+				if o := ownerOf(tree.Root()); o != id && o != core.NoServer {
+					peer.SeedCache(tree.Root(), core.SingleServerMap(o))
+				}
+			}
+		}
+		// Shard peers share the node's server-labeled counters (the registry
+		// resolves by name+labels, and counters are atomic).
+		peer.AttachTelemetry(n.reg, server...)
+		s.peer = peer
+		s.absorbFn = s.fastAbsorb
+		if opts.Shards > 1 {
+			lbl := []string{"server", fmt.Sprint(id), "shard", fmt.Sprint(i)}
+			s.waitHist = n.reg.Histogram("terradir_shard_queue_wait_seconds",
+				"Time queries spent in one shard's request queue before service.", latencyLayout, lbl...)
+			sh := s
+			n.reg.GaugeFunc("terradir_shard_queue_depth",
+				"Messages currently queued to one shard's event loop.",
+				func() float64 { return float64(len(sh.queries) + len(sh.control)) }, lbl...)
+		}
+		n.shards = append(n.shards, s)
+	}
+	n.reg.GaugeFunc("terradir_server_load",
+		"Server-wide load estimate: mean of the shards' last meter readings.",
+		n.serverLoad, server...)
 	n.inboxDrops = n.reg.Counter("terradir_inbox_query_drops_total",
 		"Queries dropped because the server's bounded request queue was full.", server...)
-	latencyLayout := telemetry.HistogramOpts{Min: 1e-6, Max: 1e3, BucketsPerDecade: 8}
 	n.queueWaitHist = n.reg.Histogram("terradir_queue_wait_seconds",
 		"Time queries spent in the request queue before service.", latencyLayout, server...)
 	n.serviceHist = n.reg.Histogram("terradir_service_seconds",
@@ -308,7 +376,6 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 	n.fastAbsorbDrops = n.reg.Counter("terradir_fastpath_absorb_drops_total",
 		"Fast-path rider/path absorptions dropped because the control queue was full.", server...)
 	n.sendFn = n.fastSend
-	n.absorbFn = n.fastAbsorb
 	if n.resCap = opts.Config.CacheSlots; n.resCap > 0 {
 		n.resMaps = make(map[core.NodeID]core.NodeMap, n.resCap)
 	}
@@ -332,33 +399,25 @@ func (n *Node) Traces() *telemetry.TraceStore { return n.traces }
 // ID returns the node's server ID.
 func (n *Node) ID() core.ServerID { return n.id }
 
-// Peer exposes the underlying protocol state machine. It must only be
-// inspected while the node is stopped (the loop owns it while running); on a
-// running node use Inspect instead.
-func (n *Node) Peer() *core.Peer { return n.peer }
+// Peer exposes the underlying protocol state machine — shard 0's peer; on a
+// multi-shard node the other shards are reachable via ShardPeer. It must
+// only be inspected while the node is stopped (the loops own the peers while
+// running); on a running node use Inspect or InspectShards instead.
+func (n *Node) Peer() *core.Peer { return n.shards[0].peer }
 
-// Inspect runs fn inside the node's event loop, synchronously. It is the safe
-// way to read (or poke) the single-threaded peer state while the node runs.
-// Returns false if the node stopped before fn could execute.
+// Inspect runs fn with every shard loop parked, synchronously. It is the
+// safe way to read (or poke) the single-threaded peer state while the node
+// runs. fn is invoked once per shard peer — once total at the default single
+// shard; on a multi-shard node reads should aggregate across invocations,
+// and pokes (PurgeServer, LearnMaps) apply server-wide. Returns false if the
+// node stopped before fn could run everywhere.
 func (n *Node) Inspect(fn func(p *core.Peer)) bool {
-	done := make(chan struct{})
-	n.learnSeq.Add(1) // fn may mutate the peer; republish before fast serves resume
-	select {
-	case n.control <- envelope{fn: func() { fn(n.peer); close(done) }, learn: true}:
-	case <-n.stop:
-		return false
-	}
-	select {
-	case <-done:
-		return true
-	case <-n.stop:
-		select {
-		case <-done:
-			return true
-		default:
-			return false
-		}
-	}
+	return n.runOnShards(true, func(s *shard) { fn(s.peer) })
+}
+
+// InspectShards is Inspect with the shard index supplied to fn.
+func (n *Node) InspectShards(fn func(idx int, p *core.Peer)) bool {
+	return n.runOnShards(true, func(s *shard) { fn(s.idx, s.peer) })
 }
 
 // InboxDropped returns the number of queries discarded by the bounded inbox
@@ -374,19 +433,43 @@ func (n *Node) Dropped() int64 { return n.InboxDropped() }
 // SetTransport wires the node's outgoing path. Must be called before Start.
 func (n *Node) SetTransport(t Transport) { n.transport = t }
 
-// Start launches the node's event loop.
+// Start launches the node's event loops (one per shard) and, on a
+// multi-shard node with digests enabled, the digest coordinator.
 func (n *Node) Start() {
 	if n.transport == nil {
 		panic("overlay: Start before SetTransport")
 	}
 	n.registerTransportMetrics()
 	n.fastEnabled = n.opts.ServiceDelay == 0 && !n.opts.DisableFastPath
-	if n.fastEnabled {
-		// Publish before the loop runs so early arrivals see a snapshot
-		// instead of falling back.
-		n.peer.PublishSnapshot()
+	shared := len(n.shards) > 1 && n.opts.Config.DigestsEnabled
+	if shared {
+		// Install the combined server-wide digest before any shard advertises
+		// its own partial hosted set (see buildSharedDigest). The loops are
+		// not running yet, so direct peer access is safe.
+		ids := make([][]core.NodeID, len(n.shards))
+		for i, s := range n.shards {
+			ids[i] = s.peer.HostedIDs()
+		}
+		f := n.buildSharedDigest(ids)
+		for _, s := range n.shards {
+			s.peer.SetSharedDigest(f)
+		}
 	}
-	go n.loop()
+	if n.fastEnabled {
+		// Publish before the loops run so early arrivals see snapshots
+		// instead of falling back.
+		for _, s := range n.shards {
+			s.peer.PublishSnapshot()
+		}
+	}
+	for _, s := range n.shards {
+		go s.loop()
+	}
+	if shared {
+		n.coordKick = make(chan struct{}, 1)
+		n.coordDone = make(chan struct{})
+		go n.coordinator()
+	}
 	if n.opts.Membership != nil {
 		n.startMembership()
 	}
@@ -431,8 +514,8 @@ func (n *Node) registerTransportMetrics() {
 		func() float64 { return float64(sr.Stats().QueueDepth) }, server...)
 }
 
-// Stop terminates the membership service (if any) and the event loop,
-// waiting for both to exit.
+// Stop terminates the membership service (if any), every shard loop and the
+// digest coordinator, waiting for all to exit.
 func (n *Node) Stop() {
 	if n.membership != nil {
 		n.membership.Stop()
@@ -442,7 +525,12 @@ func (n *Node) Stop() {
 	default:
 		close(n.stop)
 	}
-	<-n.done
+	for _, s := range n.shards {
+		<-s.done
+	}
+	if n.coordDone != nil {
+		<-n.coordDone
+	}
 }
 
 // snapshotInterval throttles routing-snapshot publication while the loop is
@@ -450,81 +538,15 @@ func (n *Node) Stop() {
 // quiet node.
 const snapshotInterval = 500 * time.Microsecond
 
-func (n *Node) loop() {
-	defer close(n.done)
-	maintain := time.NewTicker(time.Duration(n.opts.Config.MaintainInterval * float64(time.Second)))
-	defer maintain.Stop()
-	dirty := false
-	var learnExec uint64
-	var lastPublish time.Time
-	publish := func(force bool) {
-		if !n.fastEnabled || !dirty {
-			return
-		}
-		now := time.Now()
-		if !force && now.Sub(lastPublish) < snapshotInterval {
-			return
-		}
-		n.peer.PublishSnapshot()
-		lastPublish = now
-		dirty = false
-	}
-	handle := func(env envelope) {
-		n.handleControl(env)
-		dirty = true
-		if env.learn {
-			// Publish before advancing learnPub: a reader that observes
-			// learnPub == learnSeq must find the learning in the snapshot.
-			learnExec++
-			publish(true)
-			n.learnPub.Store(learnExec)
-			return
-		}
-		publish(false)
-	}
-	for {
-		// Control traffic and timers take priority over queued queries
-		// (they bypass the service queue, as in the simulator).
-		select {
-		case <-n.stop:
-			return
-		case env := <-n.control:
-			handle(env)
-			continue
-		case <-maintain.C:
-			n.peer.Maintain()
-			dirty = true
-			publish(false)
-			continue
-		default:
-		}
-		// About to block: flush any pending snapshot so concurrent readers
-		// aren't left on stale state while the loop sits idle.
-		publish(len(n.control) == 0 && len(n.queries) == 0)
-		select {
-		case <-n.stop:
-			return
-		case env := <-n.control:
-			handle(env)
-		case <-maintain.C:
-			n.peer.Maintain()
-			dirty = true
-		case q := <-n.queries:
-			n.serveQuery(q)
-			dirty = true
-			publish(false)
-		}
-	}
-}
-
-func (n *Node) handleControl(env envelope) {
+// handleControl executes one envelope against shard s's peer.
+func (n *Node) handleControl(s *shard, env envelope) {
 	if env.fn != nil {
 		env.fn()
 		return
 	}
 	switch m := env.msg.(type) {
 	case *core.ResultMsg:
-		n.peer.HandleResult(m)
+		s.peer.HandleResult(m)
 		n.completeLookup(m)
 		return
 	case *core.TraceSpanMsg:
@@ -532,10 +554,10 @@ func (n *Node) handleControl(env envelope) {
 		// the trace store (this is what survives a lost query), then let the
 		// peer absorb the piggybacked rider.
 		n.traces.AddSpan(m.TraceID, m.Span)
-		n.peer.HandleControl(m)
+		s.peer.HandleControl(m)
 		return
 	case *core.DataReply:
-		n.peer.HandleControl(m) // absorb the piggybacked rider
+		s.peer.HandleControl(m) // absorb the piggybacked rider
 		n.mu.Lock()
 		ch, ok := n.pendingData[m.ReqID]
 		if ok {
@@ -547,29 +569,35 @@ func (n *Node) handleControl(env envelope) {
 		}
 		return
 	}
-	n.peer.HandleControl(env.msg)
+	s.peer.HandleControl(env.msg)
 }
 
-// tryFastServe attempts to serve q on the peer's published routing snapshot,
+// tryFastServe attempts to serve q on shard s's published routing snapshot,
 // entirely on the calling goroutine — no event-loop round trip, no locks.
 // It reports whether the query was fully handled; false means the caller must
-// queue it for the loop (no snapshot yet, hooks active, or the route needs a
-// mutation only the loop may perform).
-func (n *Node) tryFastServe(q *core.QueryMsg) bool {
-	if n.learnPub.Load() != n.learnSeq.Load() {
+// queue it for the shard's loop (no snapshot yet, hooks active, or the route
+// needs a mutation only the loop may perform).
+func (n *Node) tryFastServe(s *shard, q *core.QueryMsg) bool {
+	if len(n.shards) > 1 && int(q.Hops) >= n.opts.Config.MaxHops/2 {
+		// A wandering query needs the loop path's authoritative owner escape
+		// (core.Peer.SetOwnerHint); the snapshot would keep it cycling.
+		n.fastFallbacks.Inc()
+		return false
+	}
+	if s.learnPub.Load() != s.learnSeq.Load() {
 		// Learnings are still in flight to the snapshot; serve through the
 		// loop, which drains them first (read-your-writes).
 		n.fastFallbacks.Inc()
 		return false
 	}
-	s := n.peer.RoutingSnapshot()
-	if s == nil {
+	snap := s.peer.RoutingSnapshot()
+	if snap == nil {
 		n.fastFallbacks.Inc()
 		return false
 	}
 	now := time.Since(n.epoch).Seconds()
 	q.ServedAt = now
-	switch s.HandleQueryFast(q, now, n.resultHint(q.Dest), n.sendFn, n.absorbFn) {
+	switch snap.HandleQueryFast(q, now, n.resultHint(q.Dest), n.sendFn, s.absorbFn) {
 	case core.FastResolved:
 		n.fastResolved.Inc()
 	case core.FastForwarded:
@@ -582,6 +610,9 @@ func (n *Node) tryFastServe(q *core.QueryMsg) bool {
 	}
 	if q.Enqueued > 0 && now >= q.Enqueued {
 		n.queueWaitHist.Observe(now - q.Enqueued)
+		if s.waitHist != nil {
+			s.waitHist.Observe(now - q.Enqueued)
+		}
 	}
 	return true
 }
@@ -594,22 +625,31 @@ func (n *Node) fastSend(to core.ServerID, m core.Message) {
 	_ = n.transport.Send(n.id, to, m) // soft state: losses tolerated
 }
 
-// fastAbsorb hands a fast-served query's rider and path to the event loop for
-// absorption into the peer's soft state. Non-blocking: under control-queue
-// pressure the rider is dropped (it is advisory) rather than stalling the
-// lock-free path.
-func (n *Node) fastAbsorb(pb core.Piggyback, path []core.PathEntry) {
-	select {
-	case n.control <- envelope{fn: func() { n.peer.FastAbsorb(pb, path) }}:
-	default:
-		n.fastAbsorbDrops.Inc()
-	}
-}
-
 // rememberResult records a completed lookup's host map in the node's result
 // cache. Shared storage is safe: host-map slices are read-only once received.
+// Entries naming a server currently marked dead are filtered on the way in —
+// a result that raced a membership death must not resurrect the purged
+// server (see purgeResults).
 func (n *Node) rememberResult(dest core.NodeID, m core.NodeMap) {
+	if n.resCap == 0 {
+		return
+	}
 	n.resMu.Lock()
+	if len(n.deadSrv) > 0 {
+		for _, sv := range m.Servers {
+			if _, dead := n.deadSrv[sv]; dead {
+				m = m.Clone()
+				for dsv := range n.deadSrv {
+					m.Remove(dsv)
+				}
+				break
+			}
+		}
+		if m.Len() == 0 {
+			n.resMu.Unlock()
+			return
+		}
+	}
 	if _, ok := n.resMaps[dest]; !ok && len(n.resMaps) >= n.resCap {
 		for k := range n.resMaps { // random slot, soft state
 			delete(n.resMaps, k)
@@ -631,48 +671,92 @@ func (n *Node) resultHint(dest core.NodeID) core.NodeMap {
 	return m
 }
 
-// forgetResults drops the result cache (ownership changed, e.g. a server was
-// purged; the remembered maps may point at dead hosts).
-func (n *Node) forgetResults() {
-	if n.resMaps == nil {
-		return
-	}
+// purgeResults scrubs server sv from the lookup result cache and marks it
+// dead so late-arriving results naming it are filtered too. Without this, a
+// cached result naming a purged server could be replayed to callers — and a
+// result already in flight when the death was processed could re-insert it —
+// in the window before ownership republish.
+func (n *Node) purgeResults(sv core.ServerID) {
 	n.resMu.Lock()
-	clear(n.resMaps)
+	n.deadSrv[sv] = struct{}{}
+	var emptied []core.NodeID
+	for nd, m := range n.resMaps {
+		if !m.Contains(sv) {
+			continue
+		}
+		c := m.Clone()
+		c.Remove(sv)
+		if c.Len() == 0 {
+			emptied = append(emptied, nd)
+			continue
+		}
+		n.resMaps[nd] = c
+	}
+	for _, nd := range emptied {
+		delete(n.resMaps, nd)
+	}
 	n.resMu.Unlock()
 }
 
-func (n *Node) serveQuery(q *core.QueryMsg) {
+// reviveResults clears sv's dead mark once membership declares it alive
+// again.
+func (n *Node) reviveResults(sv core.ServerID) {
+	n.resMu.Lock()
+	delete(n.deadSrv, sv)
+	n.resMu.Unlock()
+}
+
+// serveQuery services one query on shard s's loop.
+func (n *Node) serveQuery(s *shard, q *core.QueryMsg) {
 	start := time.Since(n.epoch).Seconds()
 	q.ServedAt = start // spans measure service from here, including the delay
 	if q.Enqueued > 0 && start >= q.Enqueued {
 		n.queueWaitHist.Observe(start - q.Enqueued)
+		if s.waitHist != nil {
+			s.waitHist.Observe(start - q.Enqueued)
+		}
 	}
 	if n.opts.ServiceDelay > 0 {
 		time.Sleep(n.opts.ServiceDelay)
 	}
-	n.peer.HandleQuery(q)
+	s.peer.HandleQuery(q)
 	end := time.Since(n.epoch).Seconds()
 	n.serviceHist.Observe(end - start)
-	n.meter.AddBusy(start, end)
+	s.meter.AddBusy(start, end)
+}
+
+// toShard enqueues env onto shard s's control queue, blocking until accepted
+// or the node stops.
+func (n *Node) toShard(s *shard, env envelope) {
+	select {
+	case s.control <- env:
+	case <-n.stop:
+	}
 }
 
 // Deliver injects an incoming message (called by transports; safe from any
-// goroutine). Queries beyond the inbox bound are dropped.
+// goroutine). Each message is dispatched to the shard that owns its subject
+// node (§11): queries and results by destination, replication and probe
+// traffic by session tag or payload node, warmup streams fanned across
+// shards. Queries beyond the inbox bound are dropped.
 func (n *Node) Deliver(m core.Message) {
 	switch msg := m.(type) {
 	case *core.QueryMsg:
+		s := n.shardFor(msg.Dest)
 		msg.Enqueued = time.Since(n.epoch).Seconds()
-		if n.fastEnabled && n.tryFastServe(msg) {
+		n.fanForeignPath(s.idx, msg.Path)
+		if n.fastEnabled && n.tryFastServe(s, msg) {
 			return
 		}
 		select {
-		case n.queries <- msg:
+		case s.queries <- msg:
 		default:
 			n.dropped.Add(1)
 			n.inboxDrops.Inc()
 		}
 	case *core.ResultMsg:
+		s := n.shardFor(msg.Dest)
+		n.fanForeignPath(s.idx, msg.Path)
 		if n.fastEnabled {
 			// Queue the learning first (control is FIFO) so an Inspect issued
 			// after Lookup returns observes the absorbed result, then wake the
@@ -681,53 +765,58 @@ func (n *Node) Deliver(m core.Message) {
 			// The result cache (not the snapshot) gives the caller's next
 			// lookup immediate visibility of this result.
 			select {
-			case n.control <- envelope{fn: func() { n.peer.HandleResult(msg) }}:
+			case s.control <- envelope{fn: func() { s.peer.HandleResult(msg) }}:
 			case <-n.stop:
 				return
 			}
 			n.completeLookup(msg)
 			return
 		}
-		select {
-		case n.control <- envelope{msg: m}:
-		case <-n.stop:
-		}
+		n.toShard(s, envelope{msg: m})
 	case *core.TraceSpanMsg:
+		s := n.shardFor(core.NodeID(msg.Span.Node))
 		if n.fastEnabled {
 			// Fold the span in immediately (TraceStore is concurrency-safe);
 			// the piggybacked rider is soft state, absorbed on the loop when
 			// there's room.
 			n.traces.AddSpan(msg.TraceID, msg.Span)
 			select {
-			case n.control <- envelope{fn: func() { n.peer.HandleControl(msg) }}:
+			case s.control <- envelope{fn: func() { s.peer.HandleControl(msg) }}:
 			default:
 				n.fastAbsorbDrops.Inc()
 			}
 			return
 		}
-		select {
-		case n.control <- envelope{msg: m}:
-		case <-n.stop:
-		}
+		n.toShard(s, envelope{msg: m})
 	case *core.MembershipMsg:
 		if msg.Kind == core.MembershipWarmup {
 			// Warmup streams are routing state, not liveness: absorb them on
-			// the event loop, where the peer may be touched.
-			n.learnSeq.Add(1)
-			select {
-			case n.control <- envelope{fn: func() { n.peer.LearnMaps(msg.Warmup) }, learn: true}:
-			case <-n.stop:
-			}
+			// the event loops, partitioned so each shard learns its own slice.
+			n.deliverWarmup(msg.Warmup)
 			return
 		}
 		if n.membership != nil {
 			n.membership.Deliver(msg)
 		}
+	case *core.LoadProbeMsg:
+		// Spread probes by sender so no single shard absorbs the whole probe
+		// load. The reply carries the answering shard's own load; spread
+		// across senders, that samples the server's per-shard load spectrum.
+		n.toShard(n.shards[int(uint32(msg.From))%len(n.shards)], envelope{msg: m})
+	case *core.LoadProbeReply:
+		// Replies echo the probe's session id, whose top byte tags the shard
+		// whose replication session sent it.
+		n.toShard(n.sessionShard(msg.Session), envelope{msg: m})
+	case *core.ReplicateReply:
+		n.toShard(n.sessionShard(msg.Session.ID), envelope{msg: m})
+	case *core.ReplicateRequest:
+		n.deliverReplicate(msg)
+	case *core.DataRequest:
+		n.toShard(n.shardFor(msg.Node), envelope{msg: m})
+	case *core.DataReply:
+		n.toShard(n.shardFor(msg.Node), envelope{msg: m})
 	default:
-		select {
-		case n.control <- envelope{msg: m}:
-		case <-n.stop:
-		}
+		n.toShard(n.shards[0], envelope{msg: m})
 	}
 }
 
@@ -793,9 +882,10 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		// the rare route that ends exactly at MaxHops.
 		q.SpanBudget = int32(n.opts.Config.MaxHops) + 2
 	}
-	if !n.fastEnabled || !n.tryFastServe(q) {
+	s := n.shardFor(dest)
+	if !n.fastEnabled || !n.tryFastServe(s, q) {
 		select {
-		case n.queries <- q:
+		case s.queries <- q:
 		default:
 			n.mu.Lock()
 			delete(n.pending, qid)

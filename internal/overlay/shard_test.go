@@ -1,0 +1,193 @@
+package overlay
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"terradir/internal/core"
+	"terradir/internal/membership"
+	"terradir/internal/namespace"
+)
+
+// TestShardTableDeterministic checks the shard-dispatch invariant the whole
+// design rests on: the node→shard mapping is a pure function of the
+// namespace tree and the shard count, so every server — and every restart of
+// the same server — partitions identically.
+func TestShardTableDeterministic(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		a := buildShardTable(namespace.NewBalanced(2, 8), shards)
+		b := buildShardTable(namespace.NewBalanced(2, 8), shards)
+		if len(a) != len(b) {
+			t.Fatalf("shards=%d: table lengths differ: %d vs %d", shards, len(a), len(b))
+		}
+		seen := make(map[int32]bool)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shards=%d: node %d maps to %d on one build, %d on another",
+					shards, i, a[i], b[i])
+			}
+			if a[i] < 0 || int(a[i]) >= shards {
+				t.Fatalf("shards=%d: node %d mapped out of range: %d", shards, i, a[i])
+			}
+			seen[a[i]] = true
+		}
+		if shards == 1 && (len(seen) != 1 || !seen[0]) {
+			t.Fatalf("single-shard table must be all zero, got shards %v", seen)
+		}
+	}
+	// Subtree affinity: below the keying level, every node shares its shard
+	// with its parent, so forwarding chains inside a subtree stay shard-local.
+	tree := namespace.NewBalanced(2, 8)
+	tbl := buildShardTable(tree, 4)
+	keyDepth := shardKeyDepth(tree, 4)
+	for nd := 0; nd < tree.Len(); nd++ {
+		if tree.Depth(core.NodeID(nd)) <= keyDepth {
+			continue
+		}
+		parent := tree.Parent(core.NodeID(nd))
+		if tbl[nd] != tbl[parent] {
+			t.Fatalf("node %d (shard %d) not co-located with parent %d (shard %d)",
+				nd, tbl[nd], parent, tbl[parent])
+		}
+	}
+}
+
+// TestShardPartitionInvariant drives traffic through a sharded cluster and
+// then asserts the soft-state partition invariant: every node a shard hosts
+// falls in that shard's partition of the namespace.
+func TestShardPartitionInvariant(t *testing.T) {
+	c := startLocal(t, 4, func(o *LocalClusterOptions) { o.Node.Shards = 4 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tree := c.Tree()
+	for i := 0; i < 3*tree.Len(); i++ {
+		if _, err := c.Lookup(ctx, i%4, core.NodeID((i*7919+3)%tree.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n := c.Node(i)
+		ok := n.InspectShards(func(idx int, p *core.Peer) {
+			for _, nd := range p.HostedIDs() {
+				if got := n.ShardOf(nd); got != idx {
+					t.Errorf("server %d: shard %d hosts node %d, which belongs to shard %d",
+						i, idx, nd, got)
+				}
+			}
+		})
+		if !ok {
+			t.Fatalf("server %d stopped unexpectedly", i)
+		}
+	}
+}
+
+// TestResultCachePurge is the unit-level regression for the lookup result
+// side-cache staleness bug: a purged server must vanish from remembered
+// result maps, late results naming it must be filtered, and a revived server
+// must be admitted again.
+func TestResultCachePurge(t *testing.T) {
+	c := startLocal(t, 4, nil)
+	n := c.Node(0)
+	const dead = core.ServerID(2)
+
+	n.rememberResult(10, core.NodeMap{Servers: []core.ServerID{1, dead}})
+	n.rememberResult(11, core.NodeMap{Servers: []core.ServerID{dead}})
+	n.purgeResults(dead)
+
+	if m := n.resultHint(10); m.Contains(dead) {
+		t.Errorf("hint for node 10 still names purged server: %+v", m.Servers)
+	} else if m.Len() != 1 {
+		t.Errorf("hint for node 10 lost its surviving host: %+v", m.Servers)
+	}
+	if m := n.resultHint(11); m.Len() != 0 {
+		t.Errorf("hint for node 11 should be dropped entirely, got %+v", m.Servers)
+	}
+
+	// A result that was in flight when the death was processed must not
+	// resurrect the dead server.
+	n.rememberResult(12, core.NodeMap{Servers: []core.ServerID{dead, 3}})
+	if m := n.resultHint(12); m.Contains(dead) {
+		t.Errorf("late result re-inserted purged server: %+v", m.Servers)
+	} else if !m.Contains(3) {
+		t.Errorf("late result's surviving host was dropped: %+v", m.Servers)
+	}
+	n.rememberResult(13, core.NodeMap{Servers: []core.ServerID{dead}})
+	if m := n.resultHint(13); m.Len() != 0 {
+		t.Errorf("all-dead late result should be ignored, got %+v", m.Servers)
+	}
+
+	n.reviveResults(dead)
+	n.rememberResult(14, core.NodeMap{Servers: []core.ServerID{dead}})
+	if m := n.resultHint(14); !m.Contains(dead) {
+		t.Errorf("revived server still filtered from results: %+v", m.Servers)
+	}
+}
+
+// TestResultCachePurgeOnCrash is the end-to-end regression for the same bug:
+// cache a lookup result, crash the server it names, and repeat the lookup.
+// Before the fix the repeat could be answered from (or hinted by) the stale
+// side-cache entry naming the dead server.
+func TestResultCachePurgeOnCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs real-time failure detection")
+	}
+	proto := churnProto(3)
+	c := startLocal(t, 5, func(o *LocalClusterOptions) {
+		o.Fault = &FaultOptions{}
+		o.Membership = &proto
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const victim = core.ServerID(2)
+	var dest core.NodeID
+	found := false
+	for nd := 0; nd < c.Tree().Len(); nd++ {
+		if c.OwnerOf(core.NodeID(nd)) == victim {
+			dest, found = core.NodeID(nd), true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("server %d owns nothing", victim)
+	}
+
+	// Cache a result that names the victim.
+	res, err := c.Lookup(ctx, 0, dest)
+	if err != nil || !res.OK {
+		t.Fatalf("warm lookup failed: %+v, %v", res, err)
+	}
+	if m := c.Node(0).resultHint(dest); !m.Contains(victim) {
+		t.Fatalf("test setup: hint for node %d does not name the owner %d: %+v",
+			dest, victim, m.Servers)
+	}
+
+	c.Fault().Crash(victim)
+	c.Node(int(victim)).Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if st, _ := c.Node(0).Membership().StateOf(victim); st == membership.Dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for server 0 to declare the victim dead")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if m := c.Node(0).resultHint(dest); m.Contains(victim) {
+		t.Fatalf("result side-cache still names the crashed server: %+v", m.Servers)
+	}
+	// The repeat lookup must succeed without the victim among its hosts.
+	res, err = c.Lookup(ctx, 0, dest)
+	if err != nil || !res.OK {
+		t.Fatalf("post-crash repeat lookup failed: %+v, %v", res, err)
+	}
+	for _, h := range res.Hosts {
+		if h == victim {
+			t.Fatalf("repeat lookup result names the crashed server: %+v", res.Hosts)
+		}
+	}
+}

@@ -358,11 +358,12 @@ type peerSender struct {
 	t    *TCPTransport
 	addr string
 
-	mu     sync.Mutex
-	queue  [][]byte
-	free   [][]byte // recycled encode buffers (written or evicted frames)
-	notify chan struct{}
-	quit   chan struct{} // closed when the sender is retired (address change)
+	mu      sync.Mutex
+	queue   [][]byte
+	free    [][]byte // recycled encode buffers (written or evicted frames)
+	retired bool     // writer gone; push must count new frames as drops itself
+	notify  chan struct{}
+	quit    chan struct{} // closed when the sender is retired (address change)
 
 	// cmu guards nc, which Close pokes from outside the writer goroutine.
 	cmu sync.Mutex
@@ -414,9 +415,19 @@ func (p *peerSender) recycleLocked(b []byte) {
 }
 
 // push enqueues data, evicting (and recycling) the oldest queued messages
-// when full, and returns how many messages were evicted.
+// when full, and returns how many messages were dropped. A push that races a
+// sender's retirement (SetAddr removed it from the peers map before Send
+// finished with it) or transport shutdown finds retired set: the writer has
+// already drained and counted the queue, so push counts its own frame as the
+// drop — keeping Enqueued == Sent + QueueDrops + WriteErrors + QueueDepth
+// exact instead of stranding the frame in a queue nothing will ever read.
 func (p *peerSender) push(data []byte) (dropped int) {
 	p.mu.Lock()
+	if p.retired {
+		p.recycleLocked(data)
+		p.mu.Unlock()
+		return 1
+	}
 	if len(p.queue) >= p.t.opts.QueueDepth {
 		n := len(p.queue) - p.t.opts.QueueDepth + 1
 		for _, old := range p.queue[:n] {
@@ -478,8 +489,28 @@ func (p *peerSender) nextBatch() ([][]byte, bool) {
 	}
 }
 
+// drainAbandoned marks the sender retired and counts every still-queued
+// frame as a queue drop. Runs exactly once, when the writer goroutine exits
+// (retirement or transport close): the frames will never be written, so
+// conservation demands they move from QueueDepth to QueueDrops rather than
+// silently disappear with the sender.
+func (p *peerSender) drainAbandoned() {
+	p.mu.Lock()
+	p.retired = true
+	if n := len(p.queue); n > 0 {
+		p.t.ctr.queueDrops.Add(uint64(n))
+		for i, old := range p.queue {
+			p.recycleLocked(old)
+			p.queue[i] = nil
+		}
+		p.queue = p.queue[:0]
+	}
+	p.mu.Unlock()
+}
+
 func (p *peerSender) run() {
 	defer p.t.wg.Done()
+	defer p.drainAbandoned()
 	for {
 		batch, ok := p.nextBatch()
 		if !ok {
@@ -511,7 +542,12 @@ func (p *peerSender) deliver(batch [][]byte) {
 			var ok bool
 			conn, ok = p.connect()
 			if !ok {
-				return // transport closing
+				// Transport closing with the batch already off the queue: it
+				// will never be written, so account it as dropped — otherwise
+				// these messages vanish from the conservation ledger.
+				p.t.ctr.queueDrops.Add(uint64(len(batch)))
+				p.putBufs(batch)
+				return
 			}
 			if conn == nil {
 				continue // dial failed; backoff already slept

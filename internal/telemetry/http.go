@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Handler builds the admin endpoint multiplexer:
@@ -78,6 +80,17 @@ type AdminServer struct {
 	srv *http.Server
 }
 
+// Admin server timeout policy. The endpoint is unauthenticated operational
+// plumbing, so it must not let one slow client pin a connection goroutine
+// forever (slowloris). No WriteTimeout: /debug/pprof/profile and /trace
+// legitimately stream for ~30s+, and a write deadline would cut them off.
+const (
+	adminReadHeaderTimeout = 5 * time.Second
+	adminReadTimeout       = time.Minute
+	adminIdleTimeout       = 2 * time.Minute
+	adminShutdownTimeout   = 5 * time.Second
+)
+
 // StartAdmin binds addr and serves the admin Handler on it in a background
 // goroutine. Close the returned server to stop it.
 func StartAdmin(addr string, reg *Registry, traces *TraceStore) (*AdminServer, error) {
@@ -85,7 +98,12 @@ func StartAdmin(addr string, reg *Registry, traces *TraceStore) (*AdminServer, e
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, traces)}
+	srv := &http.Server{
+		Handler:           Handler(reg, traces),
+		ReadHeaderTimeout: adminReadHeaderTimeout,
+		ReadTimeout:       adminReadTimeout,
+		IdleTimeout:       adminIdleTimeout,
+	}
 	go srv.Serve(ln)
 	return &AdminServer{ln: ln, srv: srv}, nil
 }
@@ -93,5 +111,13 @@ func StartAdmin(addr string, reg *Registry, traces *TraceStore) (*AdminServer, e
 // Addr returns the bound listen address.
 func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
 
-// Close stops the listener and all in-flight handlers.
-func (a *AdminServer) Close() error { return a.srv.Close() }
+// Close stops the server gracefully, letting in-flight handlers finish for
+// up to adminShutdownTimeout before force-closing whatever remains.
+func (a *AdminServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), adminShutdownTimeout)
+	defer cancel()
+	if err := a.srv.Shutdown(ctx); err != nil {
+		return a.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// The admin endpoint is unauthenticated, so the server must bound how long a
+// client may hold a connection goroutine without completing a request.
+func TestAdminServerTimeoutsConfigured(t *testing.T) {
+	a, err := StartAdmin("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set: vulnerable to slowloris header drip")
+	}
+	if a.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set: vulnerable to slowloris body drip")
+	}
+	if a.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set: idle keep-alive connections pin goroutines")
+	}
+	if a.srv.WriteTimeout != 0 {
+		t.Error("WriteTimeout must stay unset: pprof profile/trace stream for ~30s")
+	}
+}
+
+// Close must return promptly even while a keep-alive connection sits idle —
+// graceful Shutdown alone would wait for it, so Close bounds the wait.
+func TestAdminServerCloseWithIdleConn(t *testing.T) {
+	a, err := StartAdmin("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete one request on a keep-alive connection, then leave it idle.
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- a.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(adminShutdownTimeout + 5*time.Second):
+		t.Fatal("Close did not return within the shutdown deadline")
+	}
+
+	// The listener must be released.
+	if _, err := http.Get("http://" + a.Addr() + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Close")
+	}
+}
+
+// A fresh connection that never sends request headers must be cut off by
+// ReadHeaderTimeout rather than held open indefinitely. Uses a dedicated
+// server with a short timeout to keep the test fast.
+func TestAdminServerSlowClientDisconnected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(NewRegistry(), nil),
+		ReadHeaderTimeout: 100 * time.Millisecond,
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the server should close the connection once the header
+	// deadline passes. Read returns EOF/reset when it does.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("expected server to drop the stalled connection")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Error("server never dropped the stalled connection (read timed out)")
+	} else if err != io.EOF {
+		// Connection reset is fine too; only timeouts above are failures.
+		t.Logf("connection terminated with: %v", err)
+	}
+}
