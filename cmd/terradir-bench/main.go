@@ -33,7 +33,10 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 
 		openloop = flag.Bool("openloop", false, "run the open-loop (coordinated-omission-safe) lookup load harness instead of the paper experiments")
-		servers  = flag.Int("servers", 8, "openloop: servers in the in-process cluster")
+		target   = flag.String("target", "direct", "openloop: 'direct' (in-process cluster) or 'gw' (TCP peers behind a terradir-gw gateway)")
+		dist     = flag.String("dist", "unif", "openloop: destination distribution, 'unif' or 'zipf'")
+		alpha    = flag.Float64("alpha", 0.9, "openloop: Zipf exponent for -dist zipf")
+		servers  = flag.Int("servers", 8, "openloop: servers in the cluster")
 		clients  = flag.Int("clients", 64, "openloop: load-generator goroutines")
 		shards   = flag.String("shards", "1", "openloop: comma-separated per-server shard counts to sweep")
 		rates    = flag.String("rate", "20000", "openloop: comma-separated offered arrival rates (lookups/sec)")
@@ -52,7 +55,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "terradir-bench: -rate: %v\n", err)
 			os.Exit(1)
 		}
-		openLoopMain(*servers, *clients, shardList, rateList, *duration, *seed)
+		openLoopMain(*target, *dist, *alpha, *servers, *clients, shardList, rateList, *duration, *seed)
 		return
 	}
 

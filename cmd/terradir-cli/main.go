@@ -1,25 +1,38 @@
 // Command terradir-cli issues lookups against a running terradird peer's
-// client port.
+// client port, or — with -gw — against a terradir-gw gateway's HTTP surface.
 //
 //	terradir-cli -addr 127.0.0.1:8100 /n0/n1/n0 /n1/n1
+//	terradir-cli -gw http://127.0.0.1:8200 /n0/n1/n0 /n1/n1
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8100", "terradird client address")
+	gw := flag.String("gw", "", "gateway base URL (e.g. http://127.0.0.1:8200); overrides -addr")
+	tenant := flag.String("tenant", "", "X-Tenant header for gateway admission control")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-lookup timeout")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: terradir-cli [-addr host:port] <name> [<name>...]")
+		fmt.Fprintln(os.Stderr, "usage: terradir-cli [-addr host:port | -gw http://host:port] <name> [<name>...]")
 		os.Exit(2)
+	}
+	if *gw != "" {
+		if gatewayLookups(*gw, *tenant, *timeout, flag.Args()) {
+			os.Exit(1)
+		}
+		return
 	}
 	conn, err := net.DialTimeout("tcp", *addr, *timeout)
 	if err != nil {
@@ -48,4 +61,72 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// gatewayResponse mirrors the gateway's /lookup JSON body.
+type gatewayResponse struct {
+	Name      string  `json:"name"`
+	Node      int64   `json:"node"`
+	OK        bool    `json:"ok"`
+	Reason    string  `json:"reason"`
+	Hops      int     `json:"hops"`
+	LatencyMS float64 `json:"latency_ms"`
+	Servers   []int32 `json:"servers"`
+	Hedged    bool    `json:"hedged"`
+	Coalesced bool    `json:"coalesced"`
+	Error     string  `json:"error"`
+}
+
+// gatewayLookups resolves each name through the gateway's HTTP surface and
+// prints one OK/ERR line per name in the terradird text-protocol style.
+// Returns true if any lookup failed.
+func gatewayLookups(base, tenant string, timeout time.Duration, names []string) bool {
+	base = strings.TrimSuffix(base, "/")
+	cl := &http.Client{Timeout: timeout}
+	failed := false
+	for _, name := range names {
+		req, err := http.NewRequest("GET", base+"/lookup?name="+url.QueryEscape(name), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "terradir-cli: %v\n", err)
+			os.Exit(1)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := cl.Do(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "terradir-cli: %v\n", err)
+			os.Exit(1)
+		}
+		var body gatewayResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && decErr == nil && body.OK:
+			extra := ""
+			if body.Hedged {
+				extra += " hedged"
+			}
+			if body.Coalesced {
+				extra += " coalesced"
+			}
+			fmt.Printf("OK %s node=%d hops=%d servers=%v %.2fms%s\n",
+				body.Name, body.Node, body.Hops, body.Servers, body.LatencyMS, extra)
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			fmt.Printf("ERR %s shed (status %d, retry after %ss)\n",
+				name, resp.StatusCode, resp.Header.Get("Retry-After"))
+			failed = true
+		default:
+			msg := body.Error
+			if msg == "" && decErr == nil {
+				msg = body.Reason
+			}
+			if msg == "" {
+				msg = fmt.Sprintf("status %d", resp.StatusCode)
+			}
+			fmt.Printf("ERR %s %s\n", name, msg)
+			failed = true
+		}
+	}
+	return failed
 }

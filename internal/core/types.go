@@ -13,6 +13,22 @@ type ServerID int32
 // NoServer is the sentinel for "no server".
 const NoServer ServerID = -1
 
+// clientIDBase is the first (highest) ServerID of the reserved edge-client
+// range. Edge clients — gateways and other wire-protocol clients that are
+// not overlay peers — identify themselves with IDs at or below this value so
+// they can never collide with peer IDs (dense in [0, cluster size)) or
+// NoServer. Client IDs appear only as QueryMsg.Source / reply routes; they
+// never enter membership, ownership, or load tables.
+const clientIDBase ServerID = -100
+
+// ClientID maps a small non-negative edge-client ordinal to its reserved
+// ServerID. Two clients of one deployment must not share an ordinal: peers
+// route replies to whichever connection last introduced itself with the ID.
+func ClientID(ordinal int) ServerID { return clientIDBase - ServerID(ordinal) }
+
+// IsClient reports whether id lies in the reserved edge-client range.
+func IsClient(id ServerID) bool { return id <= clientIDBase }
+
 // NodeID aliases the namespace node identifier.
 type NodeID = namespace.NodeID
 
@@ -123,6 +139,10 @@ const (
 	FailTTL
 	// FailNoRoute: the server had no usable candidate to forward to.
 	FailNoRoute
+	// FailShed: an edge tier refused the request under admission control
+	// (per-tenant quota exhausted or the gateway draining). Never produced by
+	// overlay peers — only gateways synthesize it.
+	FailShed
 )
 
 func (r FailReason) String() string {
@@ -133,6 +153,8 @@ func (r FailReason) String() string {
 		return "ttl"
 	case FailNoRoute:
 		return "no-route"
+	case FailShed:
+		return "shed"
 	}
 	return "unknown"
 }
@@ -311,6 +333,25 @@ type MembershipMsg struct {
 }
 
 func (*MembershipMsg) kind() string { return "membership" }
+
+// HelloMsg is the client-role handshake (wire version 5): the first frame an
+// edge client (gateway, wire-protocol CLI) sends on a connection it dialed.
+// It registers the connection as the reply route for ID — the receiving
+// transport sends every subsequent message addressed to ID back over this
+// same connection instead of dialing, which is what lets a client that is
+// not a routable overlay peer receive lookup results. ID must lie in the
+// reserved client range (IsClient); peers never send hellos.
+type HelloMsg struct {
+	ID ServerID
+	// Role is reserved for future differentiation of edge-client kinds;
+	// currently always RoleClient.
+	Role uint8
+}
+
+// RoleClient is the only HelloMsg role currently defined.
+const RoleClient uint8 = 1
+
+func (*HelloMsg) kind() string { return "hello" }
 
 // NodeKey converts a node ID to a Bloom digest key. The simulator keys
 // digests by node identity; the wire layer keys by fully-qualified name via

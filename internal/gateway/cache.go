@@ -1,0 +1,126 @@
+package gateway
+
+import (
+	"sync"
+
+	"terradir/internal/core"
+)
+
+// maxCachedServers caps one cache entry's replica set — advert unions must
+// not grow an entry without bound when replicas churn.
+const maxCachedServers = 8
+
+// routeCache is the gateway-side routing cache: destination node → the
+// servers last known to host it (owner plus soft-state replicas). It is fed
+// entirely by traffic the gateway already sees — result maps, propagated
+// path entries, and piggybacked replica adverts — and steers repeat lookups
+// straight to an advertised holder so they resolve in one upstream hop.
+// Entries are hints, never authoritative: a stale entry costs at most one
+// redirected hop inside the overlay, exactly like any stale soft state.
+//
+// Eviction is random (map iteration order) once the bound is hit: the cache
+// is a working set of hot names, and under Zipf traffic a randomly evicted
+// hot entry is immediately re-fed by its next result.
+type routeCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[core.NodeID][]core.ServerID
+}
+
+func newRouteCache(max int) *routeCache {
+	return &routeCache{max: max, m: make(map[core.NodeID][]core.ServerID, 64)}
+}
+
+// get returns the cached replica set for node (nil when unknown). The
+// returned slice is shared — callers must not mutate it.
+func (c *routeCache) get(node core.NodeID) []core.ServerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[node]
+}
+
+func (c *routeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// put replaces node's replica set (newest wins — result maps are complete).
+func (c *routeCache) put(node core.NodeID, servers []core.ServerID) {
+	if len(servers) == 0 {
+		return
+	}
+	if len(servers) > maxCachedServers {
+		servers = servers[:maxCachedServers]
+	}
+	own := make([]core.ServerID, len(servers))
+	copy(own, servers)
+	c.mu.Lock()
+	c.evictForLocked(node)
+	c.m[node] = own
+	c.mu.Unlock()
+}
+
+// merge unions servers into node's entry (adverts are incremental: they
+// announce newly created replicas, not the full set).
+func (c *routeCache) merge(node core.NodeID, servers []core.ServerID) {
+	if len(servers) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.m[node]
+	if cur == nil {
+		c.evictForLocked(node)
+		cur = make([]core.ServerID, 0, len(servers))
+	}
+next:
+	for _, s := range servers {
+		for _, have := range cur {
+			if have == s {
+				continue next
+			}
+		}
+		if len(cur) >= maxCachedServers {
+			break
+		}
+		cur = append(cur, s)
+	}
+	c.m[node] = cur
+}
+
+// drop removes a server from every cached entry — called when the prober
+// ejects an upstream, so cache-directed picks stop steering at a dead peer
+// even before fresh results overwrite the entries.
+func (c *routeCache) drop(server core.ServerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for node, servers := range c.m {
+		w := 0
+		for _, s := range servers {
+			if s != server {
+				servers[w] = s
+				w++
+			}
+		}
+		if w == 0 {
+			delete(c.m, node)
+		} else {
+			c.m[node] = servers[:w]
+		}
+	}
+}
+
+// evictForLocked makes room for one new key when the cache is full.
+func (c *routeCache) evictForLocked(adding core.NodeID) {
+	if len(c.m) < c.max {
+		return
+	}
+	if _, exists := c.m[adding]; exists {
+		return
+	}
+	for k := range c.m {
+		delete(c.m, k)
+		return
+	}
+}

@@ -1,0 +1,163 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"terradir/internal/core"
+)
+
+// startClientPeerPair boots one server-role transport whose handler echoes
+// every query back to its source as a result, plus one client-role transport
+// that funnels received messages into the returned channel.
+func startClientPeerPair(t *testing.T) (peerTr, clientTr *TCPTransport, got chan core.Message) {
+	t.Helper()
+	peer, err := NewTCPTransportOpts(0, "127.0.0.1:0", map[core.ServerID]string{}, TCPTransportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.ServeFunc(func(m core.Message) {
+		if q, ok := m.(*core.QueryMsg); ok {
+			res := &core.ResultMsg{QueryID: q.QueryID, Dest: q.Dest, OK: true, Piggy: core.Piggyback{From: 0}}
+			if err := peer.Send(0, q.Source, res); err != nil {
+				t.Logf("peer reply: %v", err)
+			}
+		}
+	})
+
+	clientID := core.ClientID(0)
+	client, err := NewTCPTransportOpts(clientID, "127.0.0.1:0",
+		map[core.ServerID]string{0: peer.Addr()}, TCPTransportOptions{ClientRole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = make(chan core.Message, 64)
+	ch := got
+	client.ServeFunc(func(m core.Message) { ch <- m })
+	t.Cleanup(func() {
+		client.Close()
+		peer.Close()
+	})
+	return peer, client, got
+}
+
+// TestClientRoleReplyRoute: a client-role transport dials a peer, introduces
+// itself with a hello, sends queries, and receives results routed back over
+// the same connection — the peer never dials the client.
+func TestClientRoleReplyRoute(t *testing.T) {
+	_, client, got := startClientPeerPair(t)
+	clientID := core.ClientID(0)
+
+	for i := uint64(1); i <= 5; i++ {
+		q := &core.QueryMsg{QueryID: i, Dest: 7, Source: clientID, Piggy: core.Piggyback{From: core.NoServer}}
+		if err := client.Send(clientID, 0, q); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	seen := map[uint64]bool{}
+	deadline := time.After(5 * time.Second)
+	for len(seen) < 5 {
+		select {
+		case m := <-got:
+			res, ok := m.(*core.ResultMsg)
+			if !ok {
+				t.Fatalf("client received %T, want *ResultMsg", m)
+			}
+			if !res.OK || res.Dest != 7 {
+				t.Fatalf("bad result: %+v", res)
+			}
+			seen[res.QueryID] = true
+		case <-deadline:
+			t.Fatalf("timed out; got %d/5 results", len(seen))
+		}
+	}
+}
+
+// TestClientRoleRejectsPeerID: a client-role transport must be constructed
+// with a reserved client ID — a peer ID would collide with overlay routing.
+func TestClientRoleRejectsPeerID(t *testing.T) {
+	_, err := NewTCPTransportOpts(3, "127.0.0.1:0", map[core.ServerID]string{}, TCPTransportOptions{ClientRole: true})
+	if err == nil {
+		t.Fatal("want error for peer ID in client role")
+	}
+}
+
+// TestClientDisconnectUnregisters: when the client goes away, the peer's
+// reply route is torn down and Sends to the client fail fast instead of
+// queueing into a dead sender.
+func TestClientDisconnectUnregisters(t *testing.T) {
+	peer, client, got := startClientPeerPair(t)
+	clientID := core.ClientID(0)
+
+	q := &core.QueryMsg{QueryID: 1, Dest: 7, Source: clientID, Piggy: core.Piggyback{From: core.NoServer}}
+	if err := client.Send(clientID, 0, q); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result before disconnect")
+	}
+
+	client.Close()
+
+	// The peer notices the dead connection via its read loop; the registered
+	// sender retires and unregisters. Poll until Send reports the client gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := peer.Send(0, clientID, &core.ResultMsg{QueryID: 2, OK: true})
+		if err != nil {
+			if want := fmt.Sprintf("client %d not connected", clientID); err.Error() != "overlay: "+want {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peer still routing to disconnected client")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientReconnectSupersedes: a second hello from the same client ID (a
+// reconnect) replaces the old reply route, and results flow on the new
+// connection.
+func TestClientReconnectSupersedes(t *testing.T) {
+	peer, client, got := startClientPeerPair(t)
+	clientID := core.ClientID(0)
+
+	send := func(id uint64, tr *TCPTransport) {
+		t.Helper()
+		q := &core.QueryMsg{QueryID: id, Dest: 7, Source: clientID, Piggy: core.Piggyback{From: core.NoServer}}
+		if err := tr.Send(clientID, 0, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1, client)
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result on first connection")
+	}
+	client.Close()
+
+	client2, err := NewTCPTransportOpts(clientID, "127.0.0.1:0",
+		map[core.ServerID]string{0: peer.Addr()}, TCPTransportOptions{ClientRole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	got2 := make(chan core.Message, 8)
+	client2.ServeFunc(func(m core.Message) { got2 <- m })
+
+	send(2, client2)
+	select {
+	case m := <-got2:
+		if res := m.(*core.ResultMsg); res.QueryID != 2 {
+			t.Fatalf("wrong result on reconnect: %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result on reconnected client")
+	}
+}

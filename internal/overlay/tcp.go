@@ -45,6 +45,14 @@ type TCPTransportOptions struct {
 	BackoffMax time.Duration
 	// Seed seeds the deterministic backoff-jitter stream (default: from self).
 	Seed uint64
+	// ClientRole marks the transport as an edge client (gateway, CLI) rather
+	// than an overlay peer. A client-role transport introduces itself with a
+	// hello frame as the first write on every connection it dials and runs a
+	// read loop on the dialed connection, so the remote peer can route replies
+	// (lookup results, data replies) back over the same connection — an edge
+	// client has no listener address peers could dial. The transport's self ID
+	// must come from core.ClientID so it can never collide with a peer ID.
+	ClientRole bool
 }
 
 func (o *TCPTransportOptions) fill(self core.ServerID) {
@@ -84,17 +92,20 @@ func (o *TCPTransportOptions) fill(self core.ServerID) {
 // returns it after the flush). Overflow and broken writes drop messages
 // (counted), which the soft-state protocol tolerates.
 type TCPTransport struct {
-	self  core.ServerID
-	addrs map[core.ServerID]string
-	opts  TCPTransportOptions
-	node  *Node
-	ln    net.Listener
+	self    core.ServerID
+	addrs   map[core.ServerID]string
+	opts    TCPTransportOptions
+	node    *Node
+	handler func(core.Message) // ServeFunc alternative to node delivery
+	ln      net.Listener
+	hello   []byte // pre-encoded client-role hello frame (nil for peers)
 
 	dialCtx    context.Context
 	cancelDial context.CancelFunc
 
 	mu      sync.Mutex
 	peers   map[core.ServerID]*peerSender
+	clients map[core.ServerID]*peerSender // hello-registered reply routes
 	inbound map[net.Conn]struct{}
 	closed  bool
 	stop    chan struct{}
@@ -120,7 +131,7 @@ func NewTCPTransportOpts(self core.ServerID, listenAddr string, addrs map[core.S
 	}
 	opts.fill(self)
 	ctx, cancel := context.WithCancel(context.Background())
-	return &TCPTransport{
+	t := &TCPTransport{
 		self:       self,
 		addrs:      addrs,
 		opts:       opts,
@@ -128,9 +139,25 @@ func NewTCPTransportOpts(self core.ServerID, listenAddr string, addrs map[core.S
 		dialCtx:    ctx,
 		cancelDial: cancel,
 		peers:      make(map[core.ServerID]*peerSender),
+		clients:    make(map[core.ServerID]*peerSender),
 		inbound:    make(map[net.Conn]struct{}),
 		stop:       make(chan struct{}),
-	}, nil
+	}
+	if opts.ClientRole {
+		if !core.IsClient(self) {
+			ln.Close()
+			cancel()
+			return nil, fmt.Errorf("overlay: client-role transport needs a core.ClientID self, got %d", self)
+		}
+		frame, err := wire.Encode(&core.HelloMsg{ID: self, Role: core.RoleClient})
+		if err != nil {
+			ln.Close()
+			cancel()
+			return nil, err
+		}
+		t.hello = frame
+	}
+	return t, nil
 }
 
 // Addr returns the transport's bound listen address.
@@ -138,8 +165,22 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
 // Serve begins accepting inbound connections, delivering decoded messages to
 // n. It returns immediately; accepting happens on background goroutines.
+// Serve (or ServeFunc) must be called before the first Send.
 func (t *TCPTransport) Serve(n *Node) {
 	t.node = n
+	t.acceptLoop()
+}
+
+// ServeFunc is Serve for consumers that are not overlay nodes (the gateway):
+// every decoded inbound message — whether it arrived on an accepted
+// connection or as a reply on a client-role dialed connection — is handed to
+// fn. fn runs on the connection's read goroutine and must not block.
+func (t *TCPTransport) ServeFunc(fn func(core.Message)) {
+	t.handler = fn
+	t.acceptLoop()
+}
+
+func (t *TCPTransport) acceptLoop() {
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
@@ -170,6 +211,17 @@ func (t *TCPTransport) Serve(n *Node) {
 
 func (t *TCPTransport) readLoop(conn net.Conn) {
 	defer conn.Close()
+	// cs is the reply sender registered by a hello on this connection. When
+	// the read loop ends the connection is dead, so the sender dies with it —
+	// retire is idempotent, covering the case where the sender already
+	// retired itself on a write error (closing the conn and ending this loop).
+	var cs *peerSender
+	defer func() {
+		if cs != nil {
+			cs.retire()
+			t.unregisterClient(cs)
+		}
+	}()
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -190,10 +242,61 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			t.ctr.corruptFrames.Add(1)
 			continue // framing is intact: drop the message, keep the conn
 		}
-		if t.node != nil {
+		if h, ok := msg.(*core.HelloMsg); ok {
+			// Client-role handshake: bind this connection as the reply route
+			// for the client's ID. One hello per connection; extras and IDs
+			// outside the reserved client range are ignored (a peer ID here
+			// would let a client hijack peer traffic).
+			if cs == nil && core.IsClient(h.ID) {
+				cs = t.registerClient(h.ID, conn)
+			}
+			continue
+		}
+		if t.handler != nil {
+			t.handler(msg)
+		} else if t.node != nil {
 			t.node.Deliver(msg)
 		}
 	}
+}
+
+// registerClient installs a reply sender for a hello'd client, bound to the
+// inbound connection the hello arrived on. A re-hello from the same client ID
+// on a new connection (client reconnected) supersedes and retires the old
+// sender. Returns nil when the transport is closing.
+func (t *TCPTransport) registerClient(id core.ServerID, conn net.Conn) *peerSender {
+	p := &peerSender{
+		t:      t,
+		id:     id,
+		static: true,
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	p.nc = conn
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	old := t.clients[id]
+	t.clients[id] = p
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go p.run()
+	if old != nil {
+		old.retire()
+	}
+	return p
+}
+
+// unregisterClient removes p from the client reply routes unless a newer
+// sender has already replaced it.
+func (t *TCPTransport) unregisterClient(p *peerSender) {
+	t.mu.Lock()
+	if t.clients[p.id] == p {
+		delete(t.clients, p.id)
+	}
+	t.mu.Unlock()
 }
 
 // Send implements Transport: it encodes m and enqueues it on the
@@ -210,9 +313,21 @@ func (t *TCPTransport) Send(from, to core.ServerID, m core.Message) error {
 	}
 	p, ok := t.peers[to]
 	if !ok {
+		// Hello-registered clients have no dialable address; their reply
+		// sender is the only route. Client IDs are disjoint from peer IDs,
+		// so checking the registry second can never shadow a peer.
+		if c, okc := t.clients[to]; okc {
+			p = c
+			ok = true
+		}
+	}
+	if !ok {
 		addr, okAddr := t.addrs[to]
 		if !okAddr {
 			t.mu.Unlock()
+			if core.IsClient(to) {
+				return fmt.Errorf("overlay: client %d not connected", to)
+			}
 			return fmt.Errorf("overlay: no address for server %d", to)
 		}
 		p = &peerSender{
@@ -323,6 +438,9 @@ func (t *TCPTransport) Stats() TransportStats {
 	for _, p := range t.peers {
 		s.QueueDepth += p.depth()
 	}
+	for _, p := range t.clients {
+		s.QueueDepth += p.depth()
+	}
 	t.mu.Unlock()
 	return s
 }
@@ -343,6 +461,9 @@ func (t *TCPTransport) Close() error {
 	for _, p := range t.peers {
 		p.closeConn()
 	}
+	for _, p := range t.clients {
+		p.closeConn()
+	}
 	for c := range t.inbound {
 		c.Close()
 	}
@@ -353,10 +474,15 @@ func (t *TCPTransport) Close() error {
 
 // peerSender owns one destination's outbound path: a bounded drop-oldest
 // queue feeding a writer goroutine that maintains the connection and
-// coalesces queued frames into single socket writes.
+// coalesces queued frames into single socket writes. A static sender (the
+// reply route for a hello-registered client) is the same machinery bound to
+// an existing inbound connection: it never dials, and it dies with the
+// connection instead of redialing.
 type peerSender struct {
-	t    *TCPTransport
-	addr string
+	t      *TCPTransport
+	addr   string
+	id     core.ServerID // client ID (static senders only)
+	static bool          // bound to an inbound conn; no dialing, no redial
 
 	mu      sync.Mutex
 	queue   [][]byte
@@ -364,6 +490,8 @@ type peerSender struct {
 	retired bool     // writer gone; push must count new frames as drops itself
 	notify  chan struct{}
 	quit    chan struct{} // closed when the sender is retired (address change)
+
+	retireOnce sync.Once
 
 	// cmu guards nc, which Close pokes from outside the writer goroutine.
 	cmu sync.Mutex
@@ -511,13 +639,21 @@ func (p *peerSender) drainAbandoned() {
 func (p *peerSender) run() {
 	defer p.t.wg.Done()
 	defer p.drainAbandoned()
+	if p.static {
+		// A dead static sender must leave the reply-route table so a Send to
+		// the departed client fails fast instead of queueing into the void.
+		defer p.t.unregisterClient(p)
+	}
 	for {
 		batch, ok := p.nextBatch()
 		if !ok {
 			p.closeConn()
 			return
 		}
-		p.deliver(batch)
+		if !p.deliver(batch) {
+			p.closeConn()
+			return
+		}
 		select {
 		case <-p.quit:
 			p.closeConn()
@@ -530,15 +666,24 @@ func (p *peerSender) run() {
 	}
 }
 
-// deliver flushes one coalesced batch, (re)connecting as needed. Dial
-// failures sleep the capped exponential backoff and retry the same batch
-// (the queue keeps absorbing newer traffic behind it, evicting its oldest on
-// overflow); a write failure drops the whole batch and marks the connection
-// dead so the next batch redials.
-func (p *peerSender) deliver(batch [][]byte) {
+// deliver flushes one coalesced batch, (re)connecting as needed, and reports
+// whether the sender should keep running. Dial failures sleep the capped
+// exponential backoff and retry the same batch (the queue keeps absorbing
+// newer traffic behind it, evicting its oldest on overflow); a write failure
+// drops the whole batch and marks the connection dead so the next batch
+// redials. A static sender cannot redial — its connection belongs to the
+// remote client — so connection death there ends the sender (false).
+func (p *peerSender) deliver(batch [][]byte) bool {
 	for {
 		conn := p.conn()
 		if conn == nil {
+			if p.static {
+				// The client connection is gone and cannot be re-established
+				// from this side: the batch dies with the sender.
+				p.t.ctr.queueDrops.Add(uint64(len(batch)))
+				p.putBufs(batch)
+				return false
+			}
 			var ok bool
 			conn, ok = p.connect()
 			if !ok {
@@ -547,18 +692,21 @@ func (p *peerSender) deliver(batch [][]byte) {
 				// these messages vanish from the conservation ledger.
 				p.t.ctr.queueDrops.Add(uint64(len(batch)))
 				p.putBufs(batch)
-				return
+				return false
 			}
 			if conn == nil {
 				continue // dial failed; backoff already slept
 			}
 		}
-		// Detect a broken connection *before* committing the batch: outbound
-		// connections are write-only (peers respond on their own dials), so a
-		// pending FIN/RST — which a first write would silently absorb — means
-		// the peer is gone. Without this check a batch written into a dead
-		// socket is blackholed and the failure only shows on the next batch.
-		if connBroken(conn) {
+		// Detect a broken connection *before* committing the batch: peer
+		// outbound connections are write-only (peers respond on their own
+		// dials), so a pending FIN/RST — which a first write would silently
+		// absorb — means the peer is gone. Without this check a batch written
+		// into a dead socket is blackholed and the failure only shows on the
+		// next batch. The probe MUST be skipped when a read loop shares the
+		// connection (static senders; client-role dialed conns): it would
+		// steal a frame byte from the reply stream.
+		if !p.static && !p.t.opts.ClientRole && connBroken(conn) {
 			p.closeConn()
 			continue // redial and retry the same batch
 		}
@@ -578,46 +726,59 @@ func (p *peerSender) deliver(batch [][]byte) {
 			p.t.ctr.writeErrors.Add(uint64(len(batch)))
 			p.closeConn()
 			p.putBufs(batch)
-			return // batch lost with the connection; soft state tolerates it
+			// Batch lost with the connection; soft state tolerates it. A
+			// dialing sender redials on the next batch; a static one is done.
+			return !p.static
 		}
 		p.t.ctr.sent.Add(uint64(len(batch)))
 		p.t.ctr.flushes.Add(1)
 		p.putBufs(batch)
-		return
+		return true
 	}
 }
 
 // connect attempts one dial. It returns (nil, true) after a failed attempt
 // (having slept the backoff) and (nil, false) when the transport is closing.
+// In client role the hello frame goes out before the connection is usable
+// and a read loop is attached for replies.
 func (p *peerSender) connect() (net.Conn, bool) {
 	d := net.Dialer{Timeout: p.t.opts.DialTimeout}
 	nc, err := d.DialContext(p.t.dialCtx, "tcp", p.addr)
 	if err != nil {
 		p.t.ctr.dialErrors.Add(1)
-		select {
-		case <-p.quit:
-			return nil, false
-		case <-p.t.stop:
-			return nil, false
-		default:
-		}
-		delay := p.backoff + time.Duration(p.jitter.Float64()*float64(p.backoff))
-		p.backoff *= 2
-		if p.backoff > p.t.opts.BackoffMax {
-			p.backoff = p.t.opts.BackoffMax
-		}
-		timer := time.NewTimer(delay)
-		defer timer.Stop()
-		select {
-		case <-timer.C:
-			return nil, true
-		case <-p.quit:
-			return nil, false
-		case <-p.t.stop:
-			return nil, false
-		}
+		return nil, p.sleepBackoff()
 	}
 	p.t.ctr.dials.Add(1)
+	if p.t.hello != nil {
+		// Introduce ourselves so the peer binds this connection as our reply
+		// route. A failed hello is a failed dial (counted as a connection
+		// error, not a write error — hellos are not enqueued frames, and the
+		// Enqueued == Sent + drops conservation ledger must stay exact).
+		nc.SetWriteDeadline(time.Now().Add(p.t.opts.WriteTimeout))
+		if werr := wire.WriteFrame(nc, p.t.hello); werr != nil {
+			nc.Close()
+			p.t.ctr.connErrors.Add(1)
+			return nil, p.sleepBackoff()
+		}
+		nc.SetWriteDeadline(time.Time{})
+		// Replies come back on this same connection.
+		p.t.mu.Lock()
+		if p.t.closed {
+			p.t.mu.Unlock()
+			nc.Close()
+			return nil, false
+		}
+		p.t.inbound[nc] = struct{}{}
+		p.t.wg.Add(1)
+		p.t.mu.Unlock()
+		go func() {
+			defer p.t.wg.Done()
+			p.t.readLoop(nc)
+			p.t.mu.Lock()
+			delete(p.t.inbound, nc)
+			p.t.mu.Unlock()
+		}()
+	}
 	if p.dialed {
 		p.t.ctr.redials.Add(1)
 	}
@@ -627,6 +788,33 @@ func (p *peerSender) connect() (net.Conn, bool) {
 	p.nc = nc
 	p.cmu.Unlock()
 	return nc, true
+}
+
+// sleepBackoff sleeps the capped exponential redial backoff, returning false
+// when the sender or transport is shutting down.
+func (p *peerSender) sleepBackoff() bool {
+	select {
+	case <-p.quit:
+		return false
+	case <-p.t.stop:
+		return false
+	default:
+	}
+	delay := p.backoff + time.Duration(p.jitter.Float64()*float64(p.backoff))
+	p.backoff *= 2
+	if p.backoff > p.t.opts.BackoffMax {
+		p.backoff = p.t.opts.BackoffMax
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-p.quit:
+		return false
+	case <-p.t.stop:
+		return false
+	}
 }
 
 // connBroken reports whether a write-only connection has a pending EOF,
@@ -666,12 +854,15 @@ func (p *peerSender) conn() net.Conn {
 	return p.nc
 }
 
-// retire terminates a sender whose address was superseded: its writer
-// goroutine exits and its connection closes. Called at most once, by SetAddr,
-// after the sender is removed from the peers map.
+// retire terminates a sender: its writer goroutine exits and its connection
+// closes. Idempotent — a static sender can be retired by a write failure, by
+// its connection's read loop ending, and by a superseding re-hello, in any
+// order.
 func (p *peerSender) retire() {
-	close(p.quit)
-	p.closeConn()
+	p.retireOnce.Do(func() {
+		close(p.quit)
+		p.closeConn()
+	})
 }
 
 func (p *peerSender) closeConn() {

@@ -24,12 +24,14 @@ import (
 // Version is the wire protocol version. Version 2 added per-lookup trace
 // fields to query/result frames and the trace-span message kind; version 3
 // added the membership frame kind. Version 4 replaced the gob payload
-// encoding with the fixed-width binary layout this package now implements.
-// Version-4 frames lead with the Magic byte; versions 1–3 led with the kind
-// tag directly, so a v4 decoder recognises legacy frames by their first
-// byte (kinds occupy 1..10, disjoint from Magic) and rejects them with
-// ErrVersion. Mixed v3/v4 deployments are not supported.
-const Version = 4
+// encoding with the fixed-width binary layout this package now implements;
+// version 5 added the hello frame kind (client-role handshake, used by the
+// gateway/edge tier). Version ≥4 frames lead with the Magic byte; versions
+// 1–3 led with the kind tag directly, so the decoder recognises legacy
+// frames by their first byte (legacy kinds occupy 1..10, disjoint from
+// Magic) and rejects them with ErrVersion. Mixed v3/v4+ deployments are not
+// supported; v5 is wire-compatible with v4 apart from the new kind.
+const Version = 5
 
 // Magic is the first byte of every version-4 frame. It is disjoint from the
 // legacy kind-tag range (1..10), so the decoder can tell a v4 frame from a
@@ -49,6 +51,7 @@ const (
 	kindDataReply
 	kindTraceSpan  // wire version 2
 	kindMembership // wire version 3
+	kindHello      // wire version 5 (client-role handshake)
 )
 
 // MaxFrame bounds accepted frame sizes (1 MiB) to protect against corrupt or
@@ -183,6 +186,10 @@ func AppendMessage(dst []byte, m core.Message) ([]byte, error) {
 			b = appendStr(b, u.Addr)
 		}
 		return appendPath(b, v.Warmup), nil
+	case *core.HelloMsg:
+		b := append(dst, Magic, kindHello)
+		b = appendI32(b, int32(v.ID))
+		return append(b, v.Role), nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %T", m)
 	}
@@ -599,6 +606,8 @@ func Decode(data []byte) (core.Message, error) {
 		}
 		mm.Warmup = r.path()
 		m = mm
+	case kindHello:
+		m = &core.HelloMsg{ID: core.ServerID(r.i32()), Role: r.u8()}
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", kind)
 	}

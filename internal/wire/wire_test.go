@@ -350,3 +350,14 @@ func TestMembershipRoundTrip(t *testing.T) {
 		t.Fatalf("warmup mismatch: %+v vs %+v", gw, w)
 	}
 }
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &core.HelloMsg{ID: core.ClientID(3), Role: core.RoleClient}
+	got := roundTrip(t, h).(*core.HelloMsg)
+	if got.ID != h.ID || got.Role != h.Role {
+		t.Fatalf("hello mismatch: got %+v want %+v", got, h)
+	}
+	if !core.IsClient(got.ID) {
+		t.Fatalf("ClientID(3)=%d not in client range", got.ID)
+	}
+}
