@@ -30,6 +30,7 @@ import (
 	"terradir"
 	"terradir/internal/core"
 	"terradir/internal/overlay"
+	"terradir/internal/persist"
 	"terradir/internal/telemetry"
 )
 
@@ -55,6 +56,10 @@ func main() {
 
 		adminAddr   = flag.String("admin-addr", "", "admin HTTP listen address (/metrics, /debug/vars, /debug/pprof, /trace/<id>); empty disables")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of lookups initiated here that carry a distributed trace (0 disables)")
+
+		dataDir      = flag.String("data-dir", "", "durability directory: WAL + snapshots of hosted state; empty disables persistence")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "period between hosted-state snapshots (requires -data-dir)")
+		walSync      = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
 
 		join          = flag.String("join", "", "bootstrap off one live peer's address instead of requiring the full -peers list")
 		advertise     = flag.String("advertise", "", "address other peers dial to reach this one (default: the bound listen address; set this when -listen is a wildcard)")
@@ -149,9 +154,32 @@ func main() {
 			JoinAddr: *join,
 		}
 	}
+	if *dataDir != "" {
+		// Fail fast on a durability misconfiguration: a peer that silently ran
+		// without its WAL would lose state it promised to keep.
+		if *snapInterval <= 0 {
+			fatal(fmt.Errorf("-snapshot-interval must be > 0 (got %s)", *snapInterval))
+		}
+		policy, err := persist.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal(err)
+		}
+		if err := probeWritable(*dataDir); err != nil {
+			fatal(fmt.Errorf("-data-dir %s is not writable: %w", *dataDir, err))
+		}
+		nodeOpts.Persist = &overlay.PersistOptions{
+			Dir:              *dataDir,
+			SnapshotInterval: *snapInterval,
+			SyncPolicy:       policy,
+		}
+	}
 	node, err := overlay.NewNode(core.ServerID(*id), tree, owned, ownerOf, nodeOpts)
 	if err != nil {
 		fatal(err)
+	}
+	if rs := node.ReplayedState(); rs != nil && rs.HasState() {
+		fmt.Printf("terradird: replayed %d hosted records from %s (snapshot seq %d, wal seq %d, incarnation %d)\n",
+			len(rs.Mutations), *dataDir, rs.SnapshotSeq, rs.LastSeq, rs.Incarnation)
 	}
 	var send overlay.Transport = transport
 	if *faultDrop > 0 || *faultLatency > 0 {
@@ -284,6 +312,27 @@ func serveClients(ln net.Listener, node *overlay.Node, tree *terradir.Tree) {
 			}
 		}(conn)
 	}
+}
+
+// probeWritable creates dir if needed and verifies a file can actually be
+// written there (permissions, read-only mounts, full disks all surface now
+// instead of at the first WAL append).
+func probeWritable(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("probe"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func fatal(err error) {

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProbeWritable covers the -data-dir fail-fast path: a usable directory
+// passes (and is created if missing), while a path that cannot be a
+// directory fails before the node ever opens a WAL.
+func TestProbeWritable(t *testing.T) {
+	fresh := filepath.Join(t.TempDir(), "a", "b")
+	if err := probeWritable(fresh); err != nil {
+		t.Fatalf("probeWritable(%s) = %v, want nil", fresh, err)
+	}
+	if fi, err := os.Stat(fresh); err != nil || !fi.IsDir() {
+		t.Fatalf("probeWritable did not create %s: %v", fresh, err)
+	}
+	// Leave no probe files behind.
+	entries, err := os.ReadDir(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("probe left %d files behind in %s", len(entries), fresh)
+	}
+
+	// A regular file in the path makes the target impossible to create —
+	// the same class of failure as a read-only mount, and one that
+	// reproduces regardless of the invoking user's privileges.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := probeWritable(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("probeWritable under a regular file succeeded, want error")
+	}
+}

@@ -115,6 +115,7 @@ func (p *Peer) AdoptOwnership(node NodeID, ownerOf func(NodeID) ServerID) bool {
 		hn.adopted = true
 		p.ownedCount++
 		p.ensureSelf(&hn.selfMap)
+		p.journalKind(MutAdopt, node)
 		p.Stats.OwnershipAdopts++
 		if p.tel != nil {
 			p.tel.adoptions.Inc()
@@ -137,6 +138,7 @@ func (p *Peer) AdoptOwnership(node NodeID, ownerOf func(NodeID) ServerID) bool {
 	p.ownedCount++
 	p.initNeighbors(hn, ownerOf)
 	p.digestDirty = true
+	p.journalUpsert(hn)
 	p.Stats.OwnershipAdopts++
 	if p.tel != nil {
 		p.tel.adoptions.Inc()
@@ -159,6 +161,7 @@ func (p *Peer) ReleaseOwnership(node NodeID) bool {
 	hn.hasData = false
 	hn.data = nil
 	p.ownedCount--
+	p.journalKind(MutRelease, node)
 	p.Stats.OwnershipReleases++
 	if p.tel != nil {
 		p.tel.releases.Inc()

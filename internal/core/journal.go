@@ -1,0 +1,220 @@
+package core
+
+// This file is the peer's durability surface: a mutation journal hook that
+// streams hosted-state changes to the persistence tier (internal/persist),
+// plus export/import of full hosted records for snapshots and restart replay.
+// Everything here follows the peer's single-threaded discipline — the journal
+// callback fires inside the owning event loop, and ImportHosted/ExportHosted
+// are only called while the loop is parked (restart, snapshot barrier).
+
+// MutationKind classifies one hosted-state mutation in the durability
+// journal. Values are part of the on-disk WAL format — append only, never
+// renumber.
+type MutationKind uint8
+
+const (
+	// MutUpsert creates or fully refreshes a hosted entry (replica install,
+	// fresh adoption, snapshot export). The record carries the complete
+	// durable state of the node.
+	MutUpsert MutationKind = iota + 1
+	// MutDelete removes a hosted replica (eviction).
+	MutDelete
+	// MutAdopt promotes an already-hosted entry to provisional ownership.
+	MutAdopt
+	// MutRelease demotes an adopted entry back to a plain replica.
+	MutRelease
+	// MutMeta replaces a hosted node's metadata.
+	MutMeta
+	// MutData replaces an owned node's application data.
+	MutData
+	// MutMap replaces a hosted node's self-map (only durable map changes are
+	// journaled: replication acknowledgements adding advertised hosts).
+	MutMap
+)
+
+// HostedMutation is one journal record: a hosted-state change expressed with
+// enough context to be replayed on an empty peer. Which fields are meaningful
+// depends on Kind; MutUpsert carries everything.
+type HostedMutation struct {
+	Kind    MutationKind
+	Node    NodeID
+	Owned   bool
+	Adopted bool
+	HasData bool
+	Weight  float64
+	Meta    Meta
+	Map     NodeMap
+	Data    []byte
+}
+
+// SetJournal installs the hosted-state mutation hook. The callback fires
+// synchronously from the peer's execution context at every durable mutation;
+// it must not call back into the peer and must not retain mu or its slices
+// after returning (records reference live peer state, not copies). Call
+// before message handling starts; nil disables journaling.
+func (p *Peer) SetJournal(fn func(mu *HostedMutation)) { p.journal = fn }
+
+// journalUpsert emits a full-state record for hn.
+func (p *Peer) journalUpsert(hn *hostedNode) {
+	if p.journal == nil {
+		return
+	}
+	p.journal(&HostedMutation{
+		Kind:    MutUpsert,
+		Node:    hn.id,
+		Owned:   hn.owned,
+		Adopted: hn.adopted,
+		HasData: hn.hasData,
+		Weight:  hn.weight,
+		Meta:    hn.meta,
+		Map:     hn.selfMap,
+		Data:    hn.data,
+	})
+}
+
+// journalKind emits a partial record of the given kind for node.
+func (p *Peer) journalKind(kind MutationKind, node NodeID) {
+	if p.journal == nil {
+		return
+	}
+	p.journal(&HostedMutation{Kind: kind, Node: node})
+}
+
+// ExportHosted snapshots every hosted node as a replayable MutUpsert record.
+// All fields are deep copies: the persistence tier encodes and fsyncs them
+// off the event loop, after the snapshot barrier has released.
+func (p *Peer) ExportHosted() []HostedMutation {
+	p.foldFastTouches()
+	out := make([]HostedMutation, 0, len(p.hostedList))
+	for _, hn := range p.hostedList {
+		var data []byte
+		if hn.data != nil {
+			data = append([]byte(nil), hn.data...)
+		}
+		out = append(out, HostedMutation{
+			Kind:    MutUpsert,
+			Node:    hn.id,
+			Owned:   hn.owned,
+			Adopted: hn.adopted,
+			HasData: hn.hasData,
+			Weight:  p.decayedWeight(hn),
+			Meta:    hn.meta.Clone(),
+			Map:     hn.selfMap.Clone(),
+			Data:    data,
+		})
+	}
+	return out
+}
+
+// ImportHosted applies one replayed journal record, rebuilding hosted state
+// after a restart. It mirrors the live mutation paths but skips their
+// statistics, telemetry, hooks and journaling — replay must not re-journal
+// itself or skew counters.
+//
+// Provisional (adopted) ownership is deliberately not durable: it derives
+// from a liveness view that is stale by the time we restart, so adopted
+// entries come back as plain replicas (the membership layer re-adopts if the
+// original owner is still dead). MutAdopt records therefore replay as no-ops
+// and MutUpsert strips the adopted/owned flags of adopted entries.
+//
+// It reports whether the record changed peer state.
+func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) bool {
+	switch rec.Kind {
+	case MutUpsert:
+		owned, hasData, data := rec.Owned, rec.HasData, rec.Data
+		if rec.Adopted {
+			owned, hasData, data = false, false, nil
+		}
+		hn, ok := p.hosted[rec.Node]
+		if !ok {
+			if !p.AcceptsHosted(rec.Node) {
+				return false
+			}
+			hn = &hostedNode{id: rec.Node}
+			p.hosted[rec.Node] = hn
+			p.hostedList = append(p.hostedList, hn)
+			p.initNeighbors(hn, ownerOf)
+		}
+		if hn.owned && !owned {
+			p.ownedCount--
+		} else if !hn.owned && owned {
+			p.ownedCount++
+		}
+		hn.owned = owned
+		hn.adopted = false
+		hn.hasData = hasData
+		if data != nil {
+			hn.data = append([]byte(nil), data...)
+		} else {
+			hn.data = nil
+		}
+		hn.meta = rec.Meta.Clone()
+		hn.selfMap = rec.Map.Clone()
+		p.ensureSelf(&hn.selfMap)
+		hn.weight = rec.Weight
+		hn.weightT = p.env.Now()
+		hn.lastUsed = p.env.Now()
+		p.digestDirty = true
+		return true
+	case MutDelete:
+		hn, ok := p.hosted[rec.Node]
+		if !ok || hn.owned {
+			return false
+		}
+		delete(p.hosted, rec.Node)
+		for i, h := range p.hostedList {
+			if h == hn {
+				p.hostedList = append(p.hostedList[:i], p.hostedList[i+1:]...)
+				break
+			}
+		}
+		for _, nb := range hn.neighborIDs {
+			if e, ok := p.neighborMaps[nb]; ok {
+				e.refs--
+				if e.refs <= 0 {
+					delete(p.neighborMaps, nb)
+				}
+			}
+		}
+		p.digestDirty = true
+		return true
+	case MutAdopt:
+		// Not durable (see above).
+		return false
+	case MutRelease:
+		hn, ok := p.hosted[rec.Node]
+		if !ok || !hn.owned || !hn.adopted {
+			return false
+		}
+		hn.owned = false
+		hn.adopted = false
+		hn.hasData = false
+		hn.data = nil
+		p.ownedCount--
+		return true
+	case MutMeta:
+		hn, ok := p.hosted[rec.Node]
+		if !ok {
+			return false
+		}
+		hn.meta = rec.Meta.Clone()
+		return true
+	case MutData:
+		hn, ok := p.hosted[rec.Node]
+		if !ok || !hn.owned {
+			return false
+		}
+		hn.hasData = true
+		hn.data = append([]byte(nil), rec.Data...)
+		return true
+	case MutMap:
+		hn, ok := p.hosted[rec.Node]
+		if !ok {
+			return false
+		}
+		hn.selfMap = rec.Map.Clone()
+		p.ensureSelf(&hn.selfMap)
+		return true
+	}
+	return false
+}

@@ -203,6 +203,10 @@ type Peer struct {
 	Hooks Hooks
 	Stats Stats
 
+	// journal, when set, receives every durable hosted-state mutation (see
+	// journal.go). Fired from the peer's execution context.
+	journal func(mu *HostedMutation)
+
 	tel *peerTelemetry // nil until AttachTelemetry
 
 	// snap is the published copy-on-write routing snapshot (see snapshot.go);
@@ -749,6 +753,7 @@ func (p *Peer) evictReplica(node NodeID) bool {
 		}
 	}
 	p.digestDirty = true
+	p.journalKind(MutDelete, node)
 	p.Stats.ReplicaEvictions++
 	if p.tel != nil {
 		p.tel.evictions.Inc()
@@ -794,6 +799,9 @@ func (p *Peer) SetMeta(node NodeID, attrs map[string]string) bool {
 	}
 	hn.meta.Version++
 	hn.meta.Attrs = attrs
+	if p.journal != nil {
+		p.journal(&HostedMutation{Kind: MutMeta, Node: node, Meta: hn.meta})
+	}
 	return true
 }
 
@@ -814,6 +822,10 @@ func (p *Peer) SetData(node NodeID, data []byte) bool {
 		return false
 	}
 	hn.data = append([]byte(nil), data...)
+	hn.hasData = true
+	if p.journal != nil {
+		p.journal(&HostedMutation{Kind: MutData, Node: node, Data: hn.data})
+	}
 	return true
 }
 

@@ -359,6 +359,7 @@ func (p *Peer) installReplica(pl *ReplicaPayload, from ServerID) bool {
 	p.hosted[pl.Node] = hn
 	p.hostedList = append(p.hostedList, hn)
 	p.digestDirty = true
+	p.journalUpsert(hn)
 	p.Stats.ReplicaInstalls++
 	if p.tel != nil {
 		p.tel.installs.Inc()
@@ -403,6 +404,9 @@ func (p *Peer) handleReplicateReply(msg *ReplicateReply) {
 		if hn, ok := p.hosted[node]; ok {
 			hn.selfMap.AddAdvertised(dest, p.cfg.MapSize)
 			p.ensureSelf(&hn.selfMap)
+			if p.journal != nil {
+				p.journal(&HostedMutation{Kind: MutMap, Node: node, Map: hn.selfMap})
+			}
 		}
 		if p.cfg.AdvertiseReplicas {
 			p.recentAdverts = append(p.recentAdverts, advertRecord{

@@ -52,6 +52,10 @@ type Member struct {
 	State       State
 	Incarnation uint64
 	Addr        string
+	// HasState reports that the member advertised durable local state when it
+	// (re)joined — it can restore hosted entries by local replay, so peers
+	// should skip the full warmup push and wait for its delta reconcile.
+	HasState bool
 }
 
 // Event reports a member's state transition. Events are delivered in order
@@ -151,6 +155,20 @@ type Config struct {
 	// Labels.
 	Registry *telemetry.Registry
 	Labels   []string
+	// Incarnation seeds this member's own incarnation number. A restarting
+	// member passes its persisted incarnation plus one so its alive claim
+	// strictly supersedes any Dead record the cluster still gossips about its
+	// previous life (Alive only overrides strictly newer incarnations).
+	Incarnation uint64
+	// HasState marks this member's self-updates as backed by durable local
+	// state: peers that see the flag suppress the full warmup push and let
+	// the member pull only the delta it missed while down.
+	HasState bool
+	// OnIncarnation is told every self-incarnation bump (suspicion/death
+	// refutations) so the new value can be persisted before it is gossiped
+	// further. Optional; called under internal locks — must be fast and must
+	// not call back into the Service.
+	OnIncarnation func(inc uint64)
 
 	Options
 }
@@ -224,7 +242,9 @@ func New(cfg Config) *Service {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	s.members[cfg.Self] = &memberEntry{Member: Member{ID: cfg.Self, State: Alive, Addr: cfg.SelfAddr}}
+	s.incarnation = cfg.Incarnation
+	s.members[cfg.Self] = &memberEntry{Member: Member{
+		ID: cfg.Self, State: Alive, Incarnation: cfg.Incarnation, Addr: cfg.SelfAddr, HasState: cfg.HasState}}
 	for id, addr := range cfg.Peers {
 		if id == cfg.Self {
 			continue
@@ -581,7 +601,9 @@ func (s *Service) probeSucceededLocked(id core.ServerID, direct bool) {
 // selfUpdateLocked is the always-first piggybacked delta: our own aliveness,
 // incarnation and dialable address.
 func (s *Service) selfUpdateLocked() core.MemberUpdate {
-	return core.MemberUpdate{Server: s.cfg.Self, State: uint8(Alive), Incarnation: s.incarnation, Addr: s.cfg.SelfAddr}
+	return core.MemberUpdate{
+		Server: s.cfg.Self, State: uint8(Alive), Incarnation: s.incarnation,
+		Addr: s.cfg.SelfAddr, HasState: s.cfg.HasState}
 }
 
 // buildLocked assembles an outgoing message: self-update first, the target's
@@ -633,7 +655,8 @@ func (s *Service) snapshotLocked() *core.MembershipMsg {
 			inc = s.incarnation
 		}
 		m.Updates = append(m.Updates, core.MemberUpdate{
-			Server: id, State: uint8(e.State), Incarnation: inc, Addr: e.Addr})
+			Server: id, State: uint8(e.State), Incarnation: inc,
+			Addr: e.Addr, HasState: e.HasState})
 	}
 	return m
 }
@@ -675,6 +698,9 @@ func (s *Service) applyLocked(u core.MemberUpdate) {
 			if s.refutations != nil {
 				s.refutations.Inc()
 			}
+			if s.cfg.OnIncarnation != nil {
+				s.cfg.OnIncarnation(s.incarnation)
+			}
 			s.queueLocked(s.selfUpdateLocked())
 		}
 		return
@@ -682,7 +708,8 @@ func (s *Service) applyLocked(u core.MemberUpdate) {
 	e, known := s.members[u.Server]
 	if !known {
 		e = &memberEntry{Member: Member{
-			ID: u.Server, State: State(u.State), Incarnation: u.Incarnation, Addr: u.Addr}}
+			ID: u.Server, State: State(u.State), Incarnation: u.Incarnation,
+			Addr: u.Addr, HasState: u.HasState}}
 		s.members[u.Server] = e
 		if u.Addr != "" && s.cfg.OnAddr != nil {
 			s.cfg.OnAddr(u.Server, u.Addr)
@@ -710,13 +737,16 @@ func (s *Service) applyLocked(u core.MemberUpdate) {
 	prev := e.State
 	e.State = State(u.State)
 	e.Incarnation = u.Incarnation
+	e.HasState = u.HasState
 	if u.Addr != "" && u.Addr != e.Addr {
 		e.Addr = u.Addr
 		if s.cfg.OnAddr != nil {
 			s.cfg.OnAddr(u.Server, u.Addr)
 		}
 	}
-	s.queueLocked(core.MemberUpdate{Server: u.Server, State: u.State, Incarnation: u.Incarnation, Addr: e.Addr})
+	s.queueLocked(core.MemberUpdate{
+		Server: u.Server, State: u.State, Incarnation: u.Incarnation,
+		Addr: e.Addr, HasState: u.HasState})
 	if e.State == Suspect {
 		s.armSuspicionLocked(e)
 	}

@@ -30,6 +30,10 @@ type MembershipOptions struct {
 	// WarmupEntries bounds the hosted-map entries streamed to a newly
 	// admitted member. 0 means the default 32; negative disables warmup.
 	WarmupEntries int
+	// ReconcileEntries bounds the hosted entries streamed to a restarted
+	// member during delta reconciliation (see PersistOptions). 0 means the
+	// default 256; negative disables answering reconcile offers.
+	ReconcileEntries int
 }
 
 // AddrSetter is implemented by transports that can learn peer addresses at
@@ -46,7 +50,10 @@ type AddrSender interface {
 	SendTo(addr string, m core.Message) error
 }
 
-const defaultWarmupEntries = 32
+const (
+	defaultWarmupEntries    = 32
+	defaultReconcileEntries = 256
+)
 
 // setupOwnership builds the node's versioned ownership table from the static
 // assignment (called from NewNode when membership is enabled).
@@ -83,6 +90,22 @@ func (n *Node) startMembership() {
 			// atomically across the whole server's soft state.
 			n.handleMembershipEvent(ev)
 		},
+	}
+	if n.store != nil {
+		// Incarnation bumps must hit the WAL before they gossip: a crashed
+		// refutation that was seen by peers but not persisted would restart
+		// us below the cluster's view of our own life.
+		cfg.OnIncarnation = func(inc uint64) { _ = n.store.AppendIncarnation(inc) }
+		if n.replayed.HasState() {
+			// Restart with durable state: come back one incarnation past the
+			// persisted one so our alive claim strictly supersedes any Dead
+			// record still gossiped about our previous life, and advertise
+			// HasState so peers skip the full warmup push (we pull the delta
+			// via reconcile instead).
+			cfg.Incarnation = n.replayed.Incarnation + 1
+			cfg.HasState = true
+			_ = n.store.AppendIncarnation(cfg.Incarnation)
+		}
 	}
 	if as, ok := n.transport.(AddrSetter); ok {
 		cfg.OnAddr = as.SetAddr
@@ -127,7 +150,10 @@ func (n *Node) handleMembershipEvent(ev membership.Event) {
 	case membership.Alive:
 		changes := n.ownership.SetAlive(ev.ID, true)
 		n.reviveResults(ev.ID)
-		warm := ev.Joined || ev.Prev == membership.Dead
+		// A member that advertised durable state restores itself by local
+		// replay and pulls only its delta (MembershipReconcile); pushing it
+		// a full warmup stream would be redundant bytes.
+		warm := (ev.Joined || ev.Prev == membership.Dead) && !ev.HasState
 		max := n.opts.Membership.WarmupEntries
 		if max == 0 {
 			max = defaultWarmupEntries
@@ -146,6 +172,9 @@ func (n *Node) handleMembershipEvent(ev membership.Event) {
 			// A newly admitted or returned member starts cold: stream it a
 			// bounded slice of our hottest hosted maps (which also announces
 			// our own owned-partition claim to a joiner).
+			if n.warmupStreams != nil {
+				n.warmupStreams.Inc()
+			}
 			_ = n.transport.Send(n.id, ev.ID, &core.MembershipMsg{
 				Kind: core.MembershipWarmup, From: n.id, Warmup: entries,
 			})

@@ -12,6 +12,7 @@ package overlay
 import (
 	"context"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"terradir/internal/core"
 	"terradir/internal/membership"
 	"terradir/internal/namespace"
+	"terradir/internal/persist"
 	"terradir/internal/rng"
 	"terradir/internal/sim"
 	"terradir/internal/telemetry"
@@ -69,6 +71,12 @@ type Options struct {
 	// Default 1 (the classic single loop). Values above 1 require
 	// Config.CachingEnabled (shard bootstrap routes live in the cache).
 	Shards int
+	// Persist, when non-nil, enables the durability tier: hosted-state
+	// mutations journal to a WAL under Persist.Dir, periodic snapshots bound
+	// replay, and a restart recovers locally then delta-reconciles with its
+	// ring successor instead of taking a full warmup stream. See
+	// PersistOptions and DESIGN.md §13.
+	Persist *PersistOptions
 }
 
 func (o *Options) fill(id core.ServerID) {
@@ -220,6 +228,17 @@ type Node struct {
 
 	membership *membership.Service
 	ownership  *membership.OwnershipTable
+
+	// Persistence tier (nil unless Options.Persist is set); see persist.go.
+	store      *persist.Store
+	replayed   *persist.ReplayState
+	snapDone   chan struct{}
+	recDone    chan struct{}
+	reconciled atomic.Bool
+
+	warmupStreams    *telemetry.Counter
+	reconcileSent    *telemetry.Counter
+	reconcileSkipped *telemetry.Counter
 
 	inboxDrops    *telemetry.Counter
 	queueWaitHist *telemetry.Histogram
@@ -384,6 +403,17 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 			return nil, fmt.Errorf("overlay: MembershipOptions.Servers = %d", opts.Membership.Servers)
 		}
 		n.setupOwnership(ownerOf)
+		n.warmupStreams = n.reg.Counter("terradir_warmup_streams_total",
+			"Full warmup streams sent to admitted members.", server...)
+		n.reconcileSent = n.reg.Counter("terradir_persist_reconcile_entries_sent_total",
+			"Hosted entries streamed to rejoiners during delta reconciliation.", server...)
+		n.reconcileSkipped = n.reg.Counter("terradir_persist_reconcile_entries_skipped_total",
+			"Hosted entries a rejoiner's digest already covered (skipped from the delta stream).", server...)
+	}
+	if opts.Persist != nil {
+		if err := n.setupPersist(ownerOf); err != nil {
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -473,6 +503,16 @@ func (n *Node) Start() {
 	if n.opts.Membership != nil {
 		n.startMembership()
 	}
+	if n.store != nil {
+		n.snapDone = make(chan struct{})
+		go n.snapshotLoop()
+		if n.membership != nil && n.replayed.HasState() {
+			// We restarted with durable state: pull only the delta we missed
+			// instead of waiting for (suppressed) full warmup streams.
+			n.recDone = make(chan struct{})
+			go n.reconcileLoop()
+		}
+	}
 }
 
 // registerTransportMetrics exports the transport's counters through the
@@ -530,6 +570,20 @@ func (n *Node) Stop() {
 	}
 	if n.coordDone != nil {
 		<-n.coordDone
+	}
+	if n.snapDone != nil {
+		<-n.snapDone
+	}
+	if n.recDone != nil {
+		<-n.recDone
+	}
+	if n.store != nil {
+		// Loops and snapshotter have exited: no appender is left. Close
+		// flushes the WAL tail; recovery is replay-only by design (no
+		// shutdown snapshot — a crash and a clean stop restart identically).
+		if err := n.store.Close(); err != nil {
+			log.Printf("overlay: server %d persist close: %v", n.id, err)
+		}
 	}
 }
 
@@ -789,14 +843,21 @@ func (n *Node) Deliver(m core.Message) {
 		}
 		n.toShard(s, envelope{msg: m})
 	case *core.MembershipMsg:
-		if msg.Kind == core.MembershipWarmup {
+		switch msg.Kind {
+		case core.MembershipWarmup:
 			// Warmup streams are routing state, not liveness: absorb them on
 			// the event loops, partitioned so each shard learns its own slice.
 			n.deliverWarmup(msg.Warmup)
-			return
-		}
-		if n.membership != nil {
-			n.membership.Deliver(msg)
+		case core.MembershipReconcile:
+			// Answering needs the shard barrier; never block a transport
+			// reader on it.
+			go n.handleReconcile(msg)
+		case core.MembershipReconcileAck:
+			n.handleReconcileAck(msg)
+		default:
+			if n.membership != nil {
+				n.membership.Deliver(msg)
+			}
 		}
 	case *core.LoadProbeMsg:
 		// Spread probes by sender so no single shard absorbs the whole probe

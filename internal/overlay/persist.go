@@ -1,0 +1,288 @@
+package overlay
+
+// This file wires the persistence tier (internal/persist) into a live node:
+// journal hooks on every shard peer, periodic snapshots taken under the
+// shard barrier, replay at construction, and the delta-reconcile protocol a
+// restarted node uses instead of a full warmup stream (DESIGN.md §13).
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"terradir/internal/bloom"
+	"terradir/internal/core"
+	"terradir/internal/membership"
+	"terradir/internal/persist"
+)
+
+// PersistOptions enables the durability tier on a node: every hosted-state
+// mutation is journaled to a write-ahead log under Dir, periodic snapshots
+// bound replay time, and a restart replays snapshot+WAL locally before
+// reconciling only the delta it missed from its ring successor.
+type PersistOptions struct {
+	// Dir is the node's data directory. Required; created if absent. One
+	// directory per node — two live nodes sharing one corrupt each other.
+	Dir string
+	// SnapshotInterval is the period between snapshots (each truncates the
+	// WAL segments it covers). Default 30s.
+	SnapshotInterval time.Duration
+	// SyncPolicy picks the WAL fsync discipline (persist.SyncInterval,
+	// persist.SyncAlways, persist.SyncNone). Default SyncInterval.
+	SyncPolicy persist.SyncPolicy
+	// SyncInterval bounds data loss under the default policy: appends fsync
+	// at most once per interval. Default 100ms.
+	SyncInterval time.Duration
+}
+
+func (o *PersistOptions) fill() {
+	if o.SnapshotInterval <= 0 {
+		o.SnapshotInterval = 30 * time.Second
+	}
+}
+
+// setupPersist opens the store, replays durable state into the shard peers
+// (the loops are not running yet, so direct access is safe) and installs the
+// journal hooks. Called from NewNode after shard construction.
+func (n *Node) setupPersist(ownerOf func(core.NodeID) core.ServerID) error {
+	po := n.opts.Persist
+	po.fill()
+	if po.Dir == "" {
+		return fmt.Errorf("overlay: PersistOptions.Dir is required")
+	}
+	st, rs, err := persist.Open(po.Dir, persist.Options{
+		SyncPolicy:   po.SyncPolicy,
+		SyncInterval: po.SyncInterval,
+		Registry:     n.reg,
+		Labels:       []string{"server", fmt.Sprint(n.id)},
+	})
+	if err != nil {
+		return err
+	}
+	n.store = st
+	n.replayed = rs
+	// Route each replayed mutation to the shard owning its partition. The
+	// owner hint resolves against the static assignment: the replayed view
+	// predates any liveness knowledge, and adopted ownership is deliberately
+	// not durable (membership re-adopts from live evidence).
+	for i := range rs.Mutations {
+		mu := &rs.Mutations[i]
+		n.shards[n.shardOf(mu.Node)].peer.ImportHosted(mu, ownerOf)
+	}
+	// Journal hooks fire synchronously from each shard's single-writer loop;
+	// the store serializes appends internally. Installed after replay so
+	// imports do not re-journal themselves.
+	for _, s := range n.shards {
+		s.peer.SetJournal(func(mu *core.HostedMutation) {
+			if err := st.Append(mu); err != nil {
+				log.Printf("overlay: server %d wal append: %v", n.id, err)
+			}
+		})
+	}
+	return nil
+}
+
+// writeSnapshot captures the full hosted state under the shard barrier and
+// writes it as an atomic snapshot. Mark runs inside the barrier — no append
+// is in flight, so the rolled WAL segment boundary exactly matches the
+// exported state — while the (slow, fsyncing) snapshot write happens after
+// the loops resume.
+func (n *Node) writeSnapshot() {
+	var seq uint64
+	var markErr error
+	var recs []core.HostedMutation
+	ok := n.runOnShards(false, func(s *shard) {
+		if s.idx == 0 {
+			seq, markErr = n.store.Mark()
+		}
+		recs = append(recs, s.peer.ExportHosted()...)
+	})
+	if !ok {
+		return
+	}
+	if markErr != nil {
+		log.Printf("overlay: server %d snapshot mark: %v", n.id, markErr)
+		return
+	}
+	var inc uint64
+	if n.membership != nil {
+		inc = n.membership.Incarnation()
+	}
+	if err := n.store.WriteSnapshot(seq, inc, recs); err != nil {
+		log.Printf("overlay: server %d snapshot write: %v", n.id, err)
+	}
+}
+
+// snapshotLoop writes a snapshot every SnapshotInterval until the node
+// stops. There is deliberately no final snapshot at Stop: a crash and a
+// clean stop must both recover purely from snapshot+WAL replay.
+func (n *Node) snapshotLoop() {
+	defer close(n.snapDone)
+	t := time.NewTicker(n.opts.Persist.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.writeSnapshot()
+		}
+	}
+}
+
+// --- delta reconcile: the rejoiner side ---
+
+// reconcileLoop runs on a restarted node that recovered durable state: once
+// membership admits it, it offers its ring successor a Bloom digest of the
+// hosted nodes it already has, and the successor streams back only the
+// entries the digest misses. Retries (new digest each time — hosted state
+// may have moved) until an ack arrives or the node stops.
+func (n *Node) reconcileLoop() {
+	defer close(n.recDone)
+	poll := time.NewTicker(50 * time.Millisecond)
+	defer poll.Stop()
+	for !n.membership.Joined() {
+		select {
+		case <-n.stop:
+			return
+		case <-poll.C:
+		}
+	}
+	const resendEvery = 20 // polls: ~1s between attempts
+	for tick := 0; ; tick++ {
+		if n.reconciled.Load() {
+			return
+		}
+		if tick%resendEvery == 0 {
+			n.sendReconcile()
+		}
+		select {
+		case <-n.stop:
+			return
+		case <-poll.C:
+		}
+	}
+}
+
+// sendReconcile builds the hosted-set digest and offers it to the current
+// ring successor (best-effort; the loop retries).
+func (n *Node) sendReconcile() {
+	target := n.reconcileTarget()
+	if target == core.NoServer {
+		return
+	}
+	digest := n.buildReconcileDigest()
+	if digest == nil {
+		return
+	}
+	_ = n.transport.Send(n.id, target, &core.MembershipMsg{
+		Kind:        core.MembershipReconcile,
+		From:        n.id,
+		Incarnation: n.membership.Incarnation(),
+		Digest:      digest,
+	})
+}
+
+// reconcileTarget picks the first alive member after this node in ring
+// order (wrapping), mirroring the ownership table's successor rule.
+func (n *Node) reconcileTarget() core.ServerID {
+	first, next := core.NoServer, core.NoServer
+	for _, m := range n.membership.Members() { // sorted by ID
+		if m.ID == n.id || m.State != membership.Alive {
+			continue
+		}
+		if first == core.NoServer {
+			first = m.ID
+		}
+		if m.ID > n.id && next == core.NoServer {
+			next = m.ID
+		}
+	}
+	if next != core.NoServer {
+		return next
+	}
+	return first
+}
+
+// buildReconcileDigest snapshots the node's hosted IDs (under the shard
+// barrier) into a Bloom filter sized for ~1% false positives. A false
+// positive makes the successor skip an entry we actually lack — soft state,
+// repaired by normal path dissemination.
+func (n *Node) buildReconcileDigest() *bloom.Filter {
+	ids := make([][]core.NodeID, len(n.shards))
+	if !n.runOnShards(false, func(s *shard) { ids[s.idx] = s.peer.HostedIDs() }) {
+		return nil
+	}
+	total := 0
+	for _, l := range ids {
+		total += len(l)
+	}
+	if total < 1 {
+		total = 1
+	}
+	f := bloom.NewForCapacity(uint64(total), 0.01)
+	for _, l := range ids {
+		for _, nd := range l {
+			f.Add(core.NodeKey(nd))
+		}
+	}
+	return f
+}
+
+// --- delta reconcile: the successor side ---
+
+// handleReconcile answers a rejoiner's digest with the hosted entries the
+// digest misses, bounded by ReconcileEntries. Runs on its own goroutine
+// (Deliver must not block on the shard barrier).
+func (n *Node) handleReconcile(msg *core.MembershipMsg) {
+	if n.membership == nil {
+		return
+	}
+	max := n.opts.Membership.ReconcileEntries
+	if max == 0 {
+		max = defaultReconcileEntries
+	}
+	if max < 0 {
+		return
+	}
+	var entries []core.PathEntry
+	skipped := 0
+	n.runOnShards(false, func(s *shard) {
+		for _, e := range s.peer.BuildWarmup(1 << 20) {
+			if msg.Digest != nil && msg.Digest.Test(core.NodeKey(e.Node)) {
+				skipped++
+				continue
+			}
+			entries = append(entries, e)
+		}
+	})
+	if len(entries) > max {
+		entries = entries[:max]
+	}
+	if n.reconcileSent != nil {
+		n.reconcileSent.Add(uint64(len(entries)))
+		n.reconcileSkipped.Add(uint64(skipped))
+	}
+	_ = n.transport.Send(n.id, msg.From, &core.MembershipMsg{
+		Kind: core.MembershipReconcileAck, From: n.id, Warmup: entries,
+	})
+}
+
+// handleReconcileAck absorbs the successor's delta stream and stops the
+// rejoiner's retry loop. Duplicate acks (retries that crossed in flight)
+// re-learn the same maps, which is idempotent soft state.
+func (n *Node) handleReconcileAck(msg *core.MembershipMsg) {
+	if len(msg.Warmup) > 0 {
+		n.deliverWarmup(msg.Warmup)
+	}
+	n.reconciled.Store(true)
+}
+
+// Store exposes the node's persistence store (nil when persistence is
+// disabled). Tests use it to force snapshots; production code should not
+// need it.
+func (n *Node) Store() *persist.Store { return n.store }
+
+// ReplayedState reports what the node recovered at construction (nil when
+// persistence is disabled).
+func (n *Node) ReplayedState() *persist.ReplayState { return n.replayed }

@@ -1,0 +1,130 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+
+	"terradir/internal/core"
+)
+
+// BenchmarkWALAppend measures raw journal append throughput (no fsync): the
+// cost a hosted-state mutation adds to the event loop's critical path.
+func BenchmarkWALAppend(b *testing.B) {
+	st, _, err := Open(b.TempDir(), quietBenchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	mu := benchRecord(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendSyncAlways is the same append under fsync-per-record —
+// the upper bound a durability-paranoid deployment pays.
+func BenchmarkWALAppendSyncAlways(b *testing.B) {
+	opts := quietBenchOpts()
+	opts.SyncPolicy = SyncAlways
+	st, _, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	mu := benchRecord(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotWrite10k(b *testing.B)  { benchSnapshotWrite(b, 10_000) }
+func BenchmarkSnapshotWrite100k(b *testing.B) { benchSnapshotWrite(b, 100_000) }
+func BenchmarkReplay10k(b *testing.B)         { benchReplay(b, 10_000) }
+func BenchmarkReplay100k(b *testing.B)        { benchReplay(b, 100_000) }
+
+func quietBenchOpts() Options {
+	return Options{SyncPolicy: SyncNone, Logf: func(string, ...any) {}}
+}
+
+func benchRecord(i int) *core.HostedMutation {
+	return &core.HostedMutation{
+		Kind:  core.MutUpsert,
+		Node:  core.NodeID(i),
+		Owned: i%8 == 0,
+		Meta:  core.Meta{Version: uint64(i), Attrs: map[string]string{"name": fmt.Sprintf("n-%d", i)}},
+		Map:   core.NodeMap{Servers: []core.ServerID{core.ServerID(i % 7), core.ServerID((i + 1) % 7), core.ServerID((i + 2) % 7)}},
+	}
+}
+
+func benchRecords(n int) []core.HostedMutation {
+	recs := make([]core.HostedMutation, n)
+	for i := range recs {
+		recs[i] = *benchRecord(i)
+	}
+	return recs
+}
+
+func benchSnapshotWrite(b *testing.B, nodes int) {
+	st, _, err := Open(b.TempDir(), quietBenchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	recs := benchRecords(nodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.WriteSnapshot(1, 1, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchReplay(b *testing.B, nodes int) {
+	dir := b.TempDir()
+	st, _, err := Open(dir, quietBenchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Realistic restart shape: most state in the snapshot, a WAL tail of
+	// recent mutations on top.
+	recs := benchRecords(nodes)
+	seq, err := st.Mark()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.WriteSnapshot(seq, 1, recs); err != nil {
+		b.Fatal(err)
+	}
+	tail := nodes / 10
+	for i := 0; i < tail; i++ {
+		if err := st.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st2, rs, err := Open(dir, quietBenchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Mutations) != nodes+tail {
+			b.Fatalf("replayed %d, want %d", len(rs.Mutations), nodes+tail)
+		}
+		if err := st2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

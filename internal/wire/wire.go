@@ -26,12 +26,17 @@ import (
 // added the membership frame kind. Version 4 replaced the gob payload
 // encoding with the fixed-width binary layout this package now implements;
 // version 5 added the hello frame kind (client-role handshake, used by the
-// gateway/edge tier). Version ≥4 frames lead with the Magic byte; versions
-// 1–3 led with the kind tag directly, so the decoder recognises legacy
-// frames by their first byte (legacy kinds occupy 1..10, disjoint from
-// Magic) and rejects them with ErrVersion. Mixed v3/v4+ deployments are not
-// supported; v5 is wire-compatible with v4 apart from the new kind.
-const Version = 5
+// gateway/edge tier); version 6 extended the membership frame with the
+// persistence-tier reconcile fields (per-update has-state flag, rejoiner
+// incarnation + Bloom digest, the reconcile/reconcile-ack kinds) and fixed
+// the hosted-record layout that WAL records and snapshots reuse
+// (AppendHosted/DecodeHosted). Version ≥4 frames lead with the Magic byte;
+// versions 1–3 led with the kind tag directly, so the decoder recognises
+// legacy frames by their first byte (legacy kinds occupy 1..10, disjoint
+// from Magic) and rejects them with ErrVersion. Mixed-version deployments
+// are not supported; v6 changed the membership frame layout, so v4/v5
+// membership frames do not decode.
+const Version = 6
 
 // Magic is the first byte of every version-4 frame. It is disjoint from the
 // legacy kind-tag range (1..10), so the decoder can tell a v4 frame from a
@@ -178,14 +183,26 @@ func AppendMessage(dst []byte, m core.Message) ([]byte, error) {
 		b = binary.LittleEndian.AppendUint64(b, v.Seq)
 		b = appendI32(b, int32(v.From))
 		b = appendI32(b, int32(v.Target))
+		b = binary.LittleEndian.AppendUint64(b, v.Incarnation)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.Updates)))
 		for _, u := range v.Updates {
 			b = appendI32(b, int32(u.Server))
 			b = append(b, u.State)
+			b = appendBool(b, u.HasState)
 			b = binary.LittleEndian.AppendUint64(b, u.Incarnation)
 			b = appendStr(b, u.Addr)
 		}
-		return appendPath(b, v.Warmup), nil
+		b = appendPath(b, v.Warmup)
+		// The digest is length-prefixed like piggyback digests (zero length =
+		// absent) because bloom.Unmarshal demands an exact-length slice.
+		if v.Digest == nil {
+			return binary.LittleEndian.AppendUint32(b, 0), nil
+		}
+		lenAt := len(b)
+		b = binary.LittleEndian.AppendUint32(b, 0) // patched below
+		b = v.Digest.AppendTo(b)
+		binary.LittleEndian.PutUint32(b[lenAt:], uint32(len(b)-lenAt-4))
+		return b, nil
 	case *core.HelloMsg:
 		b := append(dst, Magic, kindHello)
 		b = appendI32(b, int32(v.ID))
@@ -404,7 +421,7 @@ const (
 	minAdvert  = 8
 	minDigest  = 8
 	minPayload = 36
-	minUpdate  = 17
+	minUpdate  = 18
 	minAttr    = 8
 )
 
@@ -593,18 +610,29 @@ func Decode(data []byte) (core.Message, error) {
 		m = rep
 	case kindMembership:
 		mm := &core.MembershipMsg{Kind: r.u8(), Seq: r.u64(),
-			From: core.ServerID(r.i32()), Target: core.ServerID(r.i32())}
+			From: core.ServerID(r.i32()), Target: core.ServerID(r.i32()),
+			Incarnation: r.u64()}
 		if n := r.count(minUpdate); n > 0 {
 			mm.Updates = make([]core.MemberUpdate, n)
 			for i := range mm.Updates {
 				u := &mm.Updates[i]
 				u.Server = core.ServerID(r.i32())
 				u.State = r.u8()
+				u.HasState = r.boolean()
 				u.Incarnation = r.u64()
 				u.Addr = r.str()
 			}
 		}
 		mm.Warmup = r.path()
+		if raw := int(r.u32()); raw > 0 && r.need(raw) {
+			f, err := bloom.Unmarshal(r.data[r.off : r.off+raw])
+			if err != nil {
+				r.fail("bad membership digest")
+			} else {
+				mm.Digest = f
+				r.off += raw
+			}
+		}
 		m = mm
 	case kindHello:
 		m = &core.HelloMsg{ID: core.ServerID(r.i32()), Role: r.u8()}
@@ -652,4 +680,60 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return data, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hosted-state records (persistence tier)
+
+// AppendHosted appends the binary encoding of one hosted-state mutation
+// record to dst. This is the payload format of internal/persist WAL records
+// and snapshot entries: the same fixed-width primitives as every other wire
+// structure, so hosted nodes persist in their wire form.
+func AppendHosted(dst []byte, mu *core.HostedMutation) []byte {
+	b := append(dst, byte(mu.Kind))
+	b = appendI32(b, int32(mu.Node))
+	var flags byte
+	if mu.Owned {
+		flags |= 1
+	}
+	if mu.Adopted {
+		flags |= 2
+	}
+	if mu.HasData {
+		flags |= 4
+	}
+	b = append(b, flags)
+	b = appendF64(b, mu.Weight)
+	b = appendMeta(b, mu.Meta)
+	b = appendNodeMap(b, mu.Map)
+	return appendBytes(b, mu.Data)
+}
+
+// DecodeHosted decodes one hosted-state mutation record produced by
+// AppendHosted. Hostile input never panics; malformed records report an
+// error.
+func DecodeHosted(data []byte) (*core.HostedMutation, error) {
+	r := &reader{data: data}
+	mu := &core.HostedMutation{
+		Kind: core.MutationKind(r.u8()),
+		Node: core.NodeID(r.i32()),
+	}
+	flags := r.u8()
+	mu.Owned = flags&1 != 0
+	mu.Adopted = flags&2 != 0
+	mu.HasData = flags&4 != 0
+	mu.Weight = r.f64()
+	mu.Meta = r.meta()
+	mu.Map = r.nodeMap()
+	mu.Data = r.bytes()
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decode hosted record: %w", r.err)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("wire: hosted record: %d trailing bytes", len(data)-r.off)
+	}
+	if mu.Kind < core.MutUpsert || mu.Kind > core.MutMap {
+		return nil, fmt.Errorf("wire: hosted record: unknown mutation kind %d", mu.Kind)
+	}
+	return mu, nil
 }

@@ -34,6 +34,7 @@ import (
 	"terradir/internal/membership"
 	"terradir/internal/namespace"
 	"terradir/internal/overlay"
+	"terradir/internal/persist"
 	"terradir/internal/rng"
 	"terradir/internal/telemetry"
 	"terradir/internal/workload"
@@ -181,6 +182,26 @@ type (
 	// OwnershipTable maps namespace nodes to their current effective owner,
 	// re-pointing each dead owner's partition at its ring successor.
 	OwnershipTable = membership.OwnershipTable
+)
+
+// Persistence types: the durability tier (WAL + snapshots of hosted state,
+// fast restart, delta-only rejoin; DESIGN.md §13).
+type (
+	// PersistOptions enables the durability tier on a live node.
+	PersistOptions = overlay.PersistOptions
+	// PersistStore is an open WAL + snapshot store.
+	PersistStore = persist.Store
+	// PersistReplayState is what a restart recovered from disk.
+	PersistReplayState = persist.ReplayState
+	// WALSyncPolicy picks the WAL fsync discipline.
+	WALSyncPolicy = persist.SyncPolicy
+)
+
+// WAL fsync policies.
+const (
+	WALSyncInterval = persist.SyncInterval
+	WALSyncAlways   = persist.SyncAlways
+	WALSyncNone     = persist.SyncNone
 )
 
 // Member liveness states.
