@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +53,75 @@ type openLoopResult struct {
 	P99Micros    float64 `json:"p99_us"`
 	P999Micros   float64 `json:"p999_us"`
 	MaxMicros    float64 `json:"max_us"`
+	PeakHeapMB   float64 `json:"peak_heap_mb"`
+	PeakRSSMB    float64 `json:"peak_rss_mb,omitempty"`
+}
+
+// memSampler tracks the process's peak live heap over a run by polling
+// runtime.ReadMemStats, and reads the kernel's resident high-water mark
+// (VmHWM) at stop. Capacity-planning numbers for larger-than-RAM hosting:
+// the hot-cache caps only matter if the figure they bound is visible.
+type memSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startMemSampler() *memSampler {
+	m := &memSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > m.peak {
+				m.peak = ms.HeapAlloc
+			}
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return m
+}
+
+// finish stops the sampler and returns (peak heap MB, peak RSS MB). RSS is 0
+// on platforms without /proc/self/status.
+func (m *memSampler) finish() (heapMB, rssMB float64) {
+	close(m.stop)
+	<-m.done
+	return float64(m.peak) / (1 << 20), readVmHWMKB() / 1024
+}
+
+// readVmHWMKB returns the process's peak resident set in KiB per
+// /proc/self/status, or 0 when unavailable.
+func readVmHWMKB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
 }
 
 // genDests pre-generates the destination stream from the shared
@@ -148,6 +221,7 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 	latencies := make([]time.Duration, total)
 	var failures atomic.Int64
 
+	mem := startMemSampler()
 	start := time.Now().Add(50 * time.Millisecond) // let workers reach their first sleep
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Clients; w++ {
@@ -171,6 +245,7 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	peakHeapMB, peakRSSMB := mem.finish()
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) float64 {
@@ -200,6 +275,8 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 		P99Micros:    pct(0.99),
 		P999Micros:   pct(0.999),
 		MaxMicros:    float64(latencies[total-1]) / float64(time.Microsecond),
+		PeakHeapMB:   peakHeapMB,
+		PeakRSSMB:    peakRSSMB,
 	}
 	if dist == "unif" {
 		r.Alpha = 0

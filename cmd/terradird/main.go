@@ -60,6 +60,8 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durability directory: WAL + snapshots of hosted state; empty disables persistence")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "period between hosted-state snapshots (requires -data-dir)")
 		walSync      = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
+		cacheEntries = flag.Int("hosted-cache-entries", 0, "cap on resident hosted entries; the rest lives in the on-disk node index (requires -data-dir; 0 = unbounded)")
+		cacheBytes   = flag.Int64("hosted-cache-bytes", 0, "cap on resident hosted bytes; the rest lives in the on-disk node index (requires -data-dir; 0 = unbounded)")
 
 		join          = flag.String("join", "", "bootstrap off one live peer's address instead of requiring the full -peers list")
 		advertise     = flag.String("advertise", "", "address other peers dial to reach this one (default: the bound listen address; set this when -listen is a wildcard)")
@@ -154,6 +156,12 @@ func main() {
 			JoinAddr: *join,
 		}
 	}
+	if *dataDir == "" && (*cacheEntries > 0 || *cacheBytes > 0) {
+		fatal(fmt.Errorf("-hosted-cache-entries/-hosted-cache-bytes bound the hot cache over the on-disk node index and require -data-dir"))
+	}
+	if *cacheEntries < 0 || *cacheBytes < 0 {
+		fatal(fmt.Errorf("-hosted-cache-entries and -hosted-cache-bytes must be >= 0"))
+	}
 	if *dataDir != "" {
 		// Fail fast on a durability misconfiguration: a peer that silently ran
 		// without its WAL would lose state it promised to keep.
@@ -171,6 +179,8 @@ func main() {
 			Dir:              *dataDir,
 			SnapshotInterval: *snapInterval,
 			SyncPolicy:       policy,
+			HotCacheEntries:  *cacheEntries,
+			HotCacheBytes:    *cacheBytes,
 		}
 	}
 	node, err := overlay.NewNode(core.ServerID(*id), tree, owned, ownerOf, nodeOpts)
@@ -178,8 +188,13 @@ func main() {
 		fatal(err)
 	}
 	if rs := node.ReplayedState(); rs != nil && rs.HasState() {
-		fmt.Printf("terradird: replayed %d hosted records from %s (snapshot seq %d, wal seq %d, incarnation %d)\n",
-			len(rs.Mutations), *dataDir, rs.SnapshotSeq, rs.LastSeq, rs.Incarnation)
+		if rs.Indexed {
+			fmt.Printf("terradird: indexed restart, %d records on disk + %d wal-tail mutations from %s (snapshot seq %d, wal seq %d, incarnation %d)\n",
+				rs.IndexedRecords, len(rs.Mutations), *dataDir, rs.SnapshotSeq, rs.LastSeq, rs.Incarnation)
+		} else {
+			fmt.Printf("terradird: replayed %d hosted records from %s (snapshot seq %d, wal seq %d, incarnation %d)\n",
+				len(rs.Mutations), *dataDir, rs.SnapshotSeq, rs.LastSeq, rs.Incarnation)
+		}
 	}
 	var send overlay.Transport = transport
 	if *faultDrop > 0 || *faultLatency > 0 {

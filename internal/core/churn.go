@@ -115,6 +115,7 @@ func (p *Peer) AdoptOwnership(node NodeID, ownerOf func(NodeID) ServerID) bool {
 		hn.adopted = true
 		p.ownedCount++
 		p.ensureSelf(&hn.selfMap)
+		p.markDirty(hn)
 		p.journalKind(MutAdopt, node)
 		p.Stats.OwnershipAdopts++
 		if p.tel != nil {
@@ -132,10 +133,16 @@ func (p *Peer) AdoptOwnership(node NodeID, ownerOf func(NodeID) ServerID) bool {
 		adopted:  true,
 		selfMap:  SingleServerMap(p.ID),
 		lastUsed: p.env.Now(),
+		ref:      true,
 	}
 	p.hosted[node] = hn
 	p.hostedList = append(p.hostedList, hn)
 	p.ownedCount++
+	if p.resident.cold != nil {
+		// A cold replica of this node supersedes nothing durable: the fresh
+		// adopted entry is journaled, so drop the disk-only marker.
+		p.resident.cold.clear(node)
+	}
 	p.initNeighbors(hn, ownerOf)
 	p.digestDirty = true
 	p.journalUpsert(hn)
@@ -161,6 +168,7 @@ func (p *Peer) ReleaseOwnership(node NodeID) bool {
 	hn.hasData = false
 	hn.data = nil
 	p.ownedCount--
+	p.markDirty(hn)
 	p.journalKind(MutRelease, node)
 	p.Stats.OwnershipReleases++
 	if p.tel != nil {

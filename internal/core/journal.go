@@ -56,6 +56,7 @@ func (p *Peer) SetJournal(fn func(mu *HostedMutation)) { p.journal = fn }
 
 // journalUpsert emits a full-state record for hn.
 func (p *Peer) journalUpsert(hn *hostedNode) {
+	p.markDirty(hn)
 	if p.journal == nil {
 		return
 	}
@@ -154,11 +155,23 @@ func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) 
 		hn.weight = rec.Weight
 		hn.weightT = p.env.Now()
 		hn.lastUsed = p.env.Now()
+		hn.ref = true
+		p.markDirty(hn)
+		if p.resident.cold != nil {
+			p.resident.cold.clear(rec.Node) // materialized: no longer disk-only
+		}
 		p.digestDirty = true
 		return true
 	case MutDelete:
 		hn, ok := p.hosted[rec.Node]
 		if !ok || hn.owned {
+			if !ok && p.IsCold(rec.Node) && !p.resident.cold.hasOwned(rec.Node) {
+				// The record exists only on disk; the delete wins over the
+				// indexed state.
+				p.resident.cold.clear(rec.Node)
+				p.digestDirty = true
+				return true
+			}
 			return false
 		}
 		delete(p.hosted, rec.Node)
@@ -176,6 +189,9 @@ func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) 
 				}
 			}
 		}
+		if p.resident.cold != nil {
+			p.resident.bytes -= int64(hn.size)
+		}
 		p.digestDirty = true
 		return true
 	case MutAdopt:
@@ -191,6 +207,7 @@ func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) 
 		hn.hasData = false
 		hn.data = nil
 		p.ownedCount--
+		p.markDirty(hn)
 		return true
 	case MutMeta:
 		hn, ok := p.hosted[rec.Node]
@@ -198,6 +215,7 @@ func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) 
 			return false
 		}
 		hn.meta = rec.Meta.Clone()
+		p.markDirty(hn)
 		return true
 	case MutData:
 		hn, ok := p.hosted[rec.Node]
@@ -206,6 +224,7 @@ func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) 
 		}
 		hn.hasData = true
 		hn.data = append([]byte(nil), rec.Data...)
+		p.markDirty(hn)
 		return true
 	case MutMap:
 		hn, ok := p.hosted[rec.Node]
@@ -214,6 +233,7 @@ func (p *Peer) ImportHosted(rec *HostedMutation, ownerOf func(NodeID) ServerID) 
 		}
 		hn.selfMap = rec.Map.Clone()
 		p.ensureSelf(&hn.selfMap)
+		p.markDirty(hn)
 		return true
 	}
 	return false

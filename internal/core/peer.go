@@ -107,6 +107,13 @@ type hostedNode struct {
 	// fastTouch accumulates query charges from the lock-free snapshot fast
 	// path; the loop folds it into weight/lastUsed (foldFastTouches).
 	fastTouch atomic.Int64
+
+	// Residency bookkeeping (resident.go): CLOCK reference bit, dirty epoch
+	// stamp (0 = clean: durable state is in the current index generation),
+	// and the approximate resident size last accounted.
+	ref      bool
+	dirtyGen uint64
+	size     int32
 }
 
 type neighborMapEntry struct {
@@ -209,6 +216,10 @@ type Peer struct {
 
 	tel *peerTelemetry // nil until AttachTelemetry
 
+	// resident is the bounded hot-cache bookkeeping (resident.go); residency
+	// is off (everything stays in memory) until SetResidency.
+	resident residencyState
+
 	// snap is the published copy-on-write routing snapshot (see snapshot.go);
 	// fast is the atomic counter ledger of queries served on it off-loop.
 	snap atomic.Pointer[RouteSnapshot]
@@ -246,6 +257,7 @@ func NewPeer(id ServerID, tree *namespace.Tree, cfg Config, env Env, src *rng.So
 		digests:        make(map[ServerID]*digestEntry),
 		knownLoads:     make(map[ServerID]loadInfo),
 		lastSessionEnd: math.Inf(-1),
+		resident:       residencyState{mutGen: 1},
 	}, nil
 }
 
@@ -287,13 +299,13 @@ func (p *Peer) SetSessionBase(base uint64) { p.sessionBase = base }
 func (p *Peer) SetSharedDigest(f *bloom.Filter) { p.sharedDigest = f }
 
 // HostedIDs returns a fresh slice of all hosted node ids (owned and
-// replicated), in deterministic hosting order.
+// replicated, resident and cold), resident entries first in hosting order.
 func (p *Peer) HostedIDs() []NodeID {
-	ids := make([]NodeID, len(p.hostedList))
+	ids := make([]NodeID, len(p.hostedList), len(p.hostedList)+p.ColdCount())
 	for i, hn := range p.hostedList {
 		ids[i] = hn.id
 	}
-	return ids
+	return append(ids, p.ColdIDs()...)
 }
 
 // SeedCache installs a bootstrap routing hint for node, bypassing the learn
@@ -315,10 +327,12 @@ func (p *Peer) AddOwned(node NodeID, meta Meta) {
 		hasData: true,
 		meta:    meta,
 		selfMap: SingleServerMap(p.ID),
+		ref:     true,
 	}
 	p.hosted[node] = hn
 	p.hostedList = append(p.hostedList, hn)
 	p.ownedCount++
+	p.markDirty(hn)
 }
 
 // FinishSetup wires the routing context for every owned node: neighbor maps
@@ -349,19 +363,34 @@ func (p *Peer) initNeighbors(hn *hostedNode, ownerOf func(NodeID) ServerID) {
 	}
 }
 
-// OwnedCount returns the number of nodes this peer owns.
-func (p *Peer) OwnedCount() int { return p.ownedCount }
+// OwnedCount returns the number of nodes this peer owns (resident and cold).
+func (p *Peer) OwnedCount() int {
+	if p.resident.cold != nil {
+		return p.ownedCount + p.resident.cold.ownedCount
+	}
+	return p.ownedCount
+}
 
-// ReplicaCount returns the number of replicas currently hosted.
-func (p *Peer) ReplicaCount() int { return len(p.hostedList) - p.ownedCount }
+// ReplicaCount returns the number of replicas currently hosted (resident and
+// cold).
+func (p *Peer) ReplicaCount() int {
+	n := len(p.hostedList) - p.ownedCount
+	if p.resident.cold != nil {
+		n += p.resident.cold.count - p.resident.cold.ownedCount
+	}
+	return n
+}
 
 // CacheLen returns the number of cached entries.
 func (p *Peer) CacheLen() int { return p.cache.Len() }
 
-// Hosts reports whether the peer currently hosts (owns or replicates) node.
+// Hosts reports whether the peer currently hosts (owns or replicates) node,
+// resident or cold.
 func (p *Peer) Hosts(node NodeID) bool {
-	_, ok := p.hosted[node]
-	return ok
+	if _, ok := p.hosted[node]; ok {
+		return true
+	}
+	return p.IsCold(node)
 }
 
 // HostsReplica reports whether the peer holds a replica (not ownership) of
@@ -371,9 +400,10 @@ func (p *Peer) HostsReplica(node NodeID) bool {
 	return ok && !hn.owned
 }
 
-// maxReplicas returns the Frepl-derived hosting bound (§3.4).
+// maxReplicas returns the Frepl-derived hosting bound (§3.4). Cold owned
+// nodes count: the bound scales with the hosted partition, not with RAM.
 func (p *Peer) maxReplicas() int {
-	return int(p.cfg.ReplFactor * float64(p.ownedCount))
+	return int(p.cfg.ReplFactor * float64(p.OwnedCount()))
 }
 
 // effLoad is the load value protocol decisions use: the measured load plus
@@ -399,6 +429,7 @@ func (p *Peer) touchNode(hn *hostedNode) {
 	hn.weight++
 	hn.weightT = now
 	hn.lastUsed = now
+	hn.ref = true
 }
 
 // decayedWeight returns hn's weight decayed to the present without charging.
@@ -415,7 +446,7 @@ func (p *Peer) decayedWeight(hn *hostedNode) float64 {
 // allocate a fresh filter, so snapshots can be shared by pointer with every
 // outgoing message instead of cloned per message.
 func (p *Peer) rebuildDigest() {
-	n := len(p.hostedList)
+	n := len(p.hostedList) + p.ColdCount()
 	if n < 1 {
 		n = 1
 	}
@@ -426,6 +457,11 @@ func (p *Peer) rebuildDigest() {
 	}
 	for _, hn := range p.hostedList {
 		nf.Add(NodeKey(hn.id))
+	}
+	// Cold entries are hosted state too: remote digest tests must keep
+	// routing queries here, where the loader materializes them on demand.
+	for _, id := range p.ColdIDs() {
+		nf.Add(NodeKey(id))
 	}
 	nf.BumpVersion()
 	p.digest = nf
@@ -752,6 +788,9 @@ func (p *Peer) evictReplica(node NodeID) bool {
 			}
 		}
 	}
+	if p.resident.cold != nil {
+		p.resident.bytes -= int64(hn.size)
+	}
 	p.digestDirty = true
 	p.journalKind(MutDelete, node)
 	p.Stats.ReplicaEvictions++
@@ -799,6 +838,7 @@ func (p *Peer) SetMeta(node NodeID, attrs map[string]string) bool {
 	}
 	hn.meta.Version++
 	hn.meta.Attrs = attrs
+	p.markDirty(hn)
 	if p.journal != nil {
 		p.journal(&HostedMutation{Kind: MutMeta, Node: node, Meta: hn.meta})
 	}
@@ -823,6 +863,7 @@ func (p *Peer) SetData(node NodeID, data []byte) bool {
 	}
 	hn.data = append([]byte(nil), data...)
 	hn.hasData = true
+	p.markDirty(hn)
 	if p.journal != nil {
 		p.journal(&HostedMutation{Kind: MutData, Node: node, Data: hn.data})
 	}

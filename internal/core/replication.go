@@ -343,6 +343,7 @@ func (p *Peer) installReplica(pl *ReplicaPayload, from ServerID) bool {
 	}
 	p.ensureSelf(&hn.selfMap)
 	hn.lastUsed = p.env.Now()
+	hn.ref = true
 	for _, nb := range pl.Neighbors {
 		hn.neighborIDs = append(hn.neighborIDs, nb.Node)
 		if e, ok := p.neighborMaps[nb.Node]; ok {
@@ -358,6 +359,11 @@ func (p *Peer) installReplica(pl *ReplicaPayload, from ServerID) bool {
 	p.cache.Delete(pl.Node)
 	p.hosted[pl.Node] = hn
 	p.hostedList = append(p.hostedList, hn)
+	if p.resident.cold != nil {
+		// A cold copy of this node may still sit in the on-disk index; the
+		// fresh (dirty, journaled) entry supersedes it.
+		p.resident.cold.clear(pl.Node)
+	}
 	p.digestDirty = true
 	p.journalUpsert(hn)
 	p.Stats.ReplicaInstalls++
@@ -404,6 +410,7 @@ func (p *Peer) handleReplicateReply(msg *ReplicateReply) {
 		if hn, ok := p.hosted[node]; ok {
 			hn.selfMap.AddAdvertised(dest, p.cfg.MapSize)
 			p.ensureSelf(&hn.selfMap)
+			p.markDirty(hn)
 			if p.journal != nil {
 				p.journal(&HostedMutation{Kind: MutMap, Node: node, Map: hn.selfMap})
 			}

@@ -103,6 +103,11 @@ type RouteSnapshot struct {
 	piggy  Piggyback // prebuilt immutable rider attached to every send
 	oracle func(NodeID) []ServerID
 
+	// cold, when non-nil, is the peer's live cold-set bitmap (resident.go).
+	// It is the one mutable structure a snapshot references: reads are
+	// atomic, and a cold destination always falls back to the loop.
+	cold *coldSet
+
 	stats *fastStats
 	tel   *peerTelemetry
 }
@@ -126,6 +131,7 @@ func (p *Peer) PublishSnapshot() {
 		cfg:    p.cfg,
 		tree:   p.tree,
 		oracle: p.OracleHosts,
+		cold:   p.resident.cold,
 		stats:  &p.fast,
 		tel:    p.tel,
 	}
@@ -206,6 +212,7 @@ func (p *Peer) foldFastTouches() {
 		if n == 0 {
 			continue
 		}
+		hn.ref = true
 		if hn.weightT > 0 && now > hn.weightT {
 			hn.weight *= math.Exp2(-(now - hn.weightT) / p.cfg.WeightHalfLife)
 		}
@@ -227,6 +234,14 @@ func (p *Peer) foldFastTouches() {
 // host, bridging the gap until the loop absorbs the same result. An unusable
 // hint is simply ignored. Passed by value to keep it off the heap.
 func (s *RouteSnapshot) HandleQueryFast(q *QueryMsg, now float64, hint NodeMap, send func(ServerID, Message), absorb func(Piggyback, []PathEntry)) FastOutcome {
+	if s.cold != nil && s.cold.has(q.Dest) {
+		// Hosted here, but on disk: the loop parks the query and a loader
+		// goroutine materializes the entry — never blocking this path.
+		// Checked before the resident map: a snapshot published before the
+		// demotion still holds the entry, and serving from it would race the
+		// eviction.
+		return FastFallback
+	}
 	if hn := s.hosted[q.Dest]; hn != nil {
 		s.commit(q, absorb)
 		if ob := s.hosted[q.OnBehalf]; ob != nil {

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"terradir/internal/telemetry"
+)
+
+// Span buffers ride traced queries hop to hop and come back in the result;
+// once the originating node has copied the completed trace out, the backing
+// array is dead. Recycling it removes a per-traced-lookup allocation plus the
+// append growth along the route (the buffer is handed out with the full span
+// budget pre-reserved). The free list is a buffered channel, not a sync.Pool:
+// channel sends copy the slice header in place, where Pool.Put would box it
+// and allocate on the very path this exists to spare.
+var spanBufFree = make(chan []telemetry.Span, 256)
+
+// spanBufMax bounds what the free list retains — a decoded wire slice of
+// absurd capacity is dropped rather than cached forever.
+const spanBufMax = 256
+
+// NewSpanBuf returns an empty span slice with at least the given capacity,
+// reusing a recycled backing array when one fits.
+func NewSpanBuf(capacity int) []telemetry.Span {
+	select {
+	case buf := <-spanBufFree:
+		if cap(buf) >= capacity {
+			return buf[:0]
+		}
+	default:
+	}
+	return make([]telemetry.Span, 0, capacity)
+}
+
+// RecycleSpanBuf returns a span buffer to the free list. The caller must be
+// the final owner: nothing may read the slice afterwards.
+func RecycleSpanBuf(buf []telemetry.Span) {
+	if cap(buf) == 0 || cap(buf) > spanBufMax {
+		return
+	}
+	select {
+	case spanBufFree <- buf[:0]:
+	default:
+	}
+}

@@ -10,6 +10,14 @@ import (
 // not grow an entry without bound when replicas churn.
 const maxCachedServers = 8
 
+// rcEntry is one cache slot: a destination node, its last-known replica set,
+// and the CLOCK reference bit.
+type rcEntry struct {
+	node    core.NodeID
+	servers []core.ServerID
+	ref     bool
+}
+
 // routeCache is the gateway-side routing cache: destination node → the
 // servers last known to host it (owner plus soft-state replicas). It is fed
 // entirely by traffic the gateway already sees — result maps, propagated
@@ -18,31 +26,44 @@ const maxCachedServers = 8
 // Entries are hints, never authoritative: a stale entry costs at most one
 // redirected hop inside the overlay, exactly like any stale soft state.
 //
-// Eviction is random (map iteration order) once the bound is hit: the cache
-// is a working set of hot names, and under Zipf traffic a randomly evicted
-// hot entry is immediately re-fed by its next result.
+// Eviction is CLOCK second-chance: a get sets the slot's reference bit, and
+// the hand sweeps past referenced slots (clearing the bit) to evict the
+// first unreferenced one. Under the Zipf traffic gateways see, this keeps
+// the hot head resident where random eviction kept churning it out — the
+// same policy the overlay's resident hosted cache uses, at hint scale.
 type routeCache struct {
-	mu  sync.Mutex
-	max int
-	m   map[core.NodeID][]core.ServerID
+	mu    sync.Mutex
+	max   int
+	slots []rcEntry
+	idx   map[core.NodeID]int
+	hand  int
 }
 
 func newRouteCache(max int) *routeCache {
-	return &routeCache{max: max, m: make(map[core.NodeID][]core.ServerID, 64)}
+	return &routeCache{
+		max: max,
+		idx: make(map[core.NodeID]int, 64),
+	}
 }
 
-// get returns the cached replica set for node (nil when unknown). The
-// returned slice is shared — callers must not mutate it.
+// get returns the cached replica set for node (nil when unknown) and grants
+// the entry its second chance. The returned slice is shared — callers must
+// not mutate it.
 func (c *routeCache) get(node core.NodeID) []core.ServerID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m[node]
+	i, ok := c.idx[node]
+	if !ok {
+		return nil
+	}
+	c.slots[i].ref = true
+	return c.slots[i].servers
 }
 
 func (c *routeCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.slots)
 }
 
 // put replaces node's replica set (newest wins — result maps are complete).
@@ -56,9 +77,13 @@ func (c *routeCache) put(node core.NodeID, servers []core.ServerID) {
 	own := make([]core.ServerID, len(servers))
 	copy(own, servers)
 	c.mu.Lock()
-	c.evictForLocked(node)
-	c.m[node] = own
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if i, ok := c.idx[node]; ok {
+		c.slots[i].servers = own
+		c.slots[i].ref = true
+		return
+	}
+	c.insertLocked(node, own)
 }
 
 // merge unions servers into node's entry (adverts are incremental: they
@@ -69,15 +94,17 @@ func (c *routeCache) merge(node core.NodeID, servers []core.ServerID) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cur := c.m[node]
-	if cur == nil {
-		c.evictForLocked(node)
+	var cur []core.ServerID
+	i, have := c.idx[node]
+	if have {
+		cur = c.slots[i].servers
+	} else {
 		cur = make([]core.ServerID, 0, len(servers))
 	}
 next:
 	for _, s := range servers {
-		for _, have := range cur {
-			if have == s {
+		for _, h := range cur {
+			if h == s {
 				continue next
 			}
 		}
@@ -86,7 +113,38 @@ next:
 		}
 		cur = append(cur, s)
 	}
-	c.m[node] = cur
+	if have {
+		c.slots[i].servers = cur
+		c.slots[i].ref = true
+		return
+	}
+	c.insertLocked(node, cur)
+}
+
+// insertLocked places a new entry, evicting via the clock hand when full.
+// New entries start unreferenced — they earn their second chance when a get
+// or a refresh actually touches them, so a one-shot name cannot displace a
+// proven-hot one.
+func (c *routeCache) insertLocked(node core.NodeID, servers []core.ServerID) {
+	if len(c.slots) < c.max {
+		c.idx[node] = len(c.slots)
+		c.slots = append(c.slots, rcEntry{node: node, servers: servers})
+		return
+	}
+	// Sweep: clear reference bits until an unreferenced slot turns up. Two
+	// full revolutions suffice — the first clears every bit.
+	for sweep := 0; sweep < 2*len(c.slots); sweep++ {
+		s := &c.slots[c.hand]
+		if !s.ref {
+			delete(c.idx, s.node)
+			c.idx[node] = c.hand
+			*s = rcEntry{node: node, servers: servers}
+			c.hand = (c.hand + 1) % len(c.slots)
+			return
+		}
+		s.ref = false
+		c.hand = (c.hand + 1) % len(c.slots)
+	}
 }
 
 // drop removes a server from every cached entry — called when the prober
@@ -95,7 +153,8 @@ next:
 func (c *routeCache) drop(server core.ServerID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for node, servers := range c.m {
+	for i := 0; i < len(c.slots); {
+		servers := c.slots[i].servers
 		w := 0
 		for _, s := range servers {
 			if s != server {
@@ -103,24 +162,23 @@ func (c *routeCache) drop(server core.ServerID) {
 				w++
 			}
 		}
-		if w == 0 {
-			delete(c.m, node)
-		} else {
-			c.m[node] = servers[:w]
+		if w > 0 {
+			c.slots[i].servers = servers[:w]
+			i++
+			continue
 		}
+		// Entry emptied: swap-remove the slot and fix the moved entry's index.
+		delete(c.idx, c.slots[i].node)
+		last := len(c.slots) - 1
+		if i != last {
+			c.slots[i] = c.slots[last]
+			c.idx[c.slots[i].node] = i
+		}
+		c.slots = c.slots[:last]
 	}
-}
-
-// evictForLocked makes room for one new key when the cache is full.
-func (c *routeCache) evictForLocked(adding core.NodeID) {
-	if len(c.m) < c.max {
-		return
-	}
-	if _, exists := c.m[adding]; exists {
-		return
-	}
-	for k := range c.m {
-		delete(c.m, k)
-		return
+	if len(c.slots) > 0 {
+		c.hand %= len(c.slots)
+	} else {
+		c.hand = 0
 	}
 }

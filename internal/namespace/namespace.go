@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a Tree. IDs are dense in [0, Tree.Len()).
@@ -34,6 +35,7 @@ type Tree struct {
 	childList  []NodeID
 	maxDepth   int32
 	lca        *lcaIndex
+	names      []atomic.Pointer[string] // memoized Name results, filled lazily
 }
 
 // Builder incrementally constructs a Tree. The zero value is ready to use;
@@ -80,6 +82,7 @@ func (b *Builder) Build() *Tree {
 		label:      b.label,
 		depth:      make([]int32, n),
 		childStart: make([]int32, n+1),
+		names:      make([]atomic.Pointer[string], n),
 	}
 	counts := make([]int32, n)
 	for i := 1; i < n; i++ {
@@ -138,8 +141,19 @@ func (t *Tree) MaxDepth() int { return int(t.maxDepth) }
 func (t *Tree) Label(id NodeID) string { return t.label[id] }
 
 // Name materializes the fully qualified name of id, e.g. "/a/b/c". The root
-// is "/" if its label is empty, otherwise "/<label>".
+// is "/" if its label is empty, otherwise "/<label>". Names are memoized per
+// node (the tree is immutable), so repeat callers — every completed lookup
+// names its destination — pay a single atomic load, not a rebuild.
 func (t *Tree) Name(id NodeID) string {
+	if p := t.names[id].Load(); p != nil {
+		return *p
+	}
+	name := t.buildName(id)
+	t.names[id].Store(&name)
+	return name
+}
+
+func (t *Tree) buildName(id NodeID) string {
 	if id == 0 {
 		if t.label[0] == "" {
 			return "/"

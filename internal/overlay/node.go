@@ -240,6 +240,13 @@ type Node struct {
 	reconcileSent    *telemetry.Counter
 	reconcileSkipped *telemetry.Counter
 
+	// Larger-than-RAM hosting (coldload.go; requires the persistence tier).
+	ownerOf      func(core.NodeID) core.ServerID // static assignment, for cold installs
+	idxHits      *telemetry.Counter
+	idxMisses    *telemetry.Counter
+	idxEvictions *telemetry.Counter
+	idxLoadHist  *telemetry.Histogram
+
 	inboxDrops    *telemetry.Counter
 	queueWaitHist *telemetry.Histogram
 	serviceHist   *telemetry.Histogram
@@ -411,6 +418,12 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 			"Hosted entries a rejoiner's digest already covered (skipped from the delta stream).", server...)
 	}
 	if opts.Persist != nil {
+		n.ownerOf = ownerOf
+		if opts.Persist.coldEnabled() {
+			// Residency must be live before replay: the restart stream marks
+			// beyond-cap entries cold instead of materializing them.
+			n.setupResidency()
+		}
 		if err := n.setupPersist(ownerOf); err != nil {
 			return nil, err
 		}
@@ -494,6 +507,10 @@ func (n *Node) Start() {
 	}
 	for _, s := range n.shards {
 		go s.loop()
+		if s.loadCh != nil {
+			s.loaderDone = make(chan struct{})
+			go s.coldLoader()
+		}
 	}
 	if shared {
 		n.coordKick = make(chan struct{}, 1)
@@ -567,6 +584,9 @@ func (n *Node) Stop() {
 	}
 	for _, s := range n.shards {
 		<-s.done
+		if s.loaderDone != nil {
+			<-s.loaderDone
+		}
 	}
 	if n.coordDone != nil {
 		<-n.coordDone
@@ -608,6 +628,14 @@ func (n *Node) handleControl(s *shard, env envelope) {
 		// the trace store (this is what survives a lost query), then let the
 		// peer absorb the piggybacked rider.
 		n.traces.AddSpan(m.TraceID, m.Span)
+		s.peer.HandleControl(m)
+		return
+	case *core.DataRequest:
+		if s.pendingCold != nil && s.peer.IsCold(m.Node) &&
+			n.parkCold(s, m.Node, coldWaiter{msg: m}) {
+			// The requested node's data is on disk; answer after the load.
+			return
+		}
 		s.peer.HandleControl(m)
 		return
 	case *core.DataReply:
@@ -770,6 +798,12 @@ func (n *Node) serveQuery(s *shard, q *core.QueryMsg) {
 			s.waitHist.Observe(start - q.Enqueued)
 		}
 	}
+	if s.pendingCold != nil && s.peer.IsCold(q.Dest) &&
+		n.parkCold(s, q.Dest, coldWaiter{q: q}) {
+		// Hosted here, but on disk: the loader materializes the entry and
+		// replays the query. Queue wait is already observed above.
+		return
+	}
 	if n.opts.ServiceDelay > 0 {
 		time.Sleep(n.opts.ServiceDelay)
 	}
@@ -910,8 +944,18 @@ func (n *Node) completeLookup(r *core.ResultMsg) {
 	n.latencyHist.Observe(res.Latency.Seconds())
 	n.hopsHist.Observe(float64(res.Hops))
 	n.traces.Complete(r.TraceID, r.Spans, r.OK, r.Hops)
+	// Complete copies spans by value and res.Trace is a fresh copy, so this
+	// node — the lookup's originator — is the buffer's final owner.
+	core.RecycleSpanBuf(r.Spans)
+	r.Spans = nil
 	ch <- res
 }
+
+// lookupChPool recycles the one-shot result channels Lookup blocks on. A
+// channel goes back only on paths where it provably has no pending sender
+// (received-from, or the query never left this function); the cancel paths
+// abandon theirs to the GC.
+var lookupChPool = sync.Pool{New: func() any { return make(chan LookupResult, 1) }}
 
 // Lookup resolves a node through the overlay, initiating the query at this
 // server, and blocks until the result arrives or ctx expires.
@@ -925,7 +969,7 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		return LookupResult{}, err
 	}
 	qid := n.nextQID.Add(1)
-	ch := make(chan LookupResult, 1)
+	ch := lookupChPool.Get().(chan LookupResult)
 	n.mu.Lock()
 	n.pending[qid] = ch
 	n.mu.Unlock()
@@ -935,6 +979,10 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		Source:   n.id,
 		OnBehalf: namespace.Invalid,
 		Started:  time.Since(n.epoch).Seconds(),
+		// Reserve a typical route's path entries up front (routes are
+		// tree-depth-bounded, far under the MaxHops TTL): each hop appends
+		// one, and with spare capacity the extensions rarely reallocate.
+		Path: make([]core.PathEntry, 0, 8),
 	}
 	q.Enqueued = q.Started
 	if id := n.traceID(qid); id != 0 {
@@ -942,6 +990,9 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 		// Budget: the full route plus the resolving hop, with one spare for
 		// the rare route that ends exactly at MaxHops.
 		q.SpanBudget = int32(n.opts.Config.MaxHops) + 2
+		// Pre-reserve the whole budget from the pool so per-hop appends never
+		// reallocate; completeLookup recycles the buffer.
+		q.Spans = core.NewSpanBuf(int(q.SpanBudget))
 	}
 	s := n.shardFor(dest)
 	if !n.fastEnabled || !n.tryFastServe(s, q) {
@@ -951,6 +1002,7 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 			n.mu.Lock()
 			delete(n.pending, qid)
 			n.mu.Unlock()
+			lookupChPool.Put(ch)
 			n.dropped.Add(1)
 			n.inboxDrops.Inc()
 			return LookupResult{}, fmt.Errorf("overlay: server %d queue full", n.id)
@@ -958,6 +1010,9 @@ func (n *Node) Lookup(ctx context.Context, dest core.NodeID) (LookupResult, erro
 	}
 	select {
 	case res := <-ch:
+		// completeLookup removes the pending entry before its single send, so
+		// a received-from channel has no other sender and is safely reusable.
+		lookupChPool.Put(ch)
 		return res, nil
 	case <-ctx.Done():
 		n.mu.Lock()

@@ -14,7 +14,19 @@ import (
 	"terradir/internal/core"
 	"terradir/internal/membership"
 	"terradir/internal/persist"
+	"terradir/internal/wire"
 )
+
+// partialMutation reports whether kind patches a field of an existing hosted
+// entry (as opposed to creating or deleting one): replaying it against a cold
+// node needs the on-disk base state materialized first.
+func partialMutation(kind core.MutationKind) bool {
+	switch kind {
+	case core.MutMeta, core.MutData, core.MutMap, core.MutRelease, core.MutAdopt:
+		return true
+	}
+	return false
+}
 
 // PersistOptions enables the durability tier on a node: every hosted-state
 // mutation is journaled to a write-ahead log under Dir, periodic snapshots
@@ -33,6 +45,21 @@ type PersistOptions struct {
 	// SyncInterval bounds data loss under the default policy: appends fsync
 	// at most once per interval. Default 100ms.
 	SyncInterval time.Duration
+	// HotCacheEntries, when positive, bounds the hosted entries the node
+	// keeps in memory (split across shards); the rest of its hosted
+	// partition lives in the persistence tier's on-disk node index and is
+	// loaded on demand by a per-shard loader goroutine (DESIGN.md §14). The
+	// namespace a node can host is then bounded by disk, not RAM.
+	HotCacheEntries int
+	// HotCacheBytes, when positive, bounds the approximate resident hosted
+	// bytes per node (split across shards). Either bound (or both) enables
+	// larger-than-RAM hosting.
+	HotCacheBytes int64
+}
+
+// coldEnabled reports whether the hot-cache residency bounds are active.
+func (o *PersistOptions) coldEnabled() bool {
+	return o.HotCacheEntries > 0 || o.HotCacheBytes > 0
 }
 
 func (o *PersistOptions) fill() {
@@ -53,6 +80,7 @@ func (n *Node) setupPersist(ownerOf func(core.NodeID) core.ServerID) error {
 	st, rs, err := persist.Open(po.Dir, persist.Options{
 		SyncPolicy:   po.SyncPolicy,
 		SyncInterval: po.SyncInterval,
+		NodeIndex:    po.coldEnabled(),
 		Registry:     n.reg,
 		Labels:       []string{"server", fmt.Sprint(n.id)},
 	})
@@ -61,13 +89,58 @@ func (n *Node) setupPersist(ownerOf func(core.NodeID) core.ServerID) error {
 	}
 	n.store = st
 	n.replayed = rs
+	// An indexed replay left the snapshot's records on disk instead of
+	// materializing them: stream the index into the shards, keeping entries
+	// resident until each shard's hot cache fills and marking the rest cold.
+	// The index stays acquired through the WAL-tail replay below, which may
+	// need it to materialize cold entries hit by partial mutations.
+	var ix *persist.Index
+	if rs.Indexed {
+		if ix = st.AcquireIndex(); ix == nil {
+			return fmt.Errorf("overlay: indexed replay but no index generation available")
+		}
+		defer ix.Release()
+		err := ix.EachEntry(func(node core.NodeID, owned, adopted bool, payload []byte) error {
+			s := n.shards[n.shardOf(node)]
+			if s.peer.ResidencyEnabled() && s.residencyFull() {
+				// Adopted ownership is not durable (see ImportHosted): a cold
+				// adopted entry counts as a plain replica.
+				s.peer.MarkCold(node, owned && !adopted)
+				return nil
+			}
+			mu, err := wire.DecodeHosted(payload)
+			if err != nil {
+				return err
+			}
+			s.peer.ImportHosted(mu, ownerOf)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("overlay: index restart stream: %w", err)
+		}
+	}
 	// Route each replayed mutation to the shard owning its partition. The
 	// owner hint resolves against the static assignment: the replayed view
 	// predates any liveness knowledge, and adopted ownership is deliberately
 	// not durable (membership re-adopts from live evidence).
 	for i := range rs.Mutations {
 		mu := &rs.Mutations[i]
-		n.shards[n.shardOf(mu.Node)].peer.ImportHosted(mu, ownerOf)
+		s := n.shards[n.shardOf(mu.Node)]
+		if ix != nil && s.peer.IsCold(mu.Node) && partialMutation(mu.Kind) {
+			// The tail mutates a field of an entry whose base state is still
+			// on disk: materialize it first so the partial record applies.
+			if rec, err := ix.Get(mu.Node); err == nil && rec != nil {
+				s.peer.InstallFromIndex(rec, ownerOf)
+			} else if err != nil {
+				log.Printf("overlay: server %d index read for tail replay of node %d: %v", n.id, mu.Node, err)
+			}
+		}
+		s.peer.ImportHosted(mu, ownerOf)
+	}
+	// Tail upserts may have pushed shards past their caps; entries installed
+	// from the index are clean and can drain back to disk immediately.
+	for _, s := range n.shards {
+		s.peer.EnforceResidency()
 	}
 	// Journal hooks fire synchronously from each shard's single-writer loop;
 	// the store serializes appends internally. Installed after replay so
@@ -87,15 +160,30 @@ func (n *Node) setupPersist(ownerOf func(core.NodeID) core.ServerID) error {
 // is in flight, so the rolled WAL segment boundary exactly matches the
 // exported state — while the (slow, fsyncing) snapshot write happens after
 // the loops resume.
+//
+// With the hot cache enabled, "full hosted state" spans memory and disk: the
+// barrier exports resident entries and captures each shard's cold-id set plus
+// its clean-epoch generation, then (after the loops resume) the cold entries
+// are merged in from the previous index generation with one sequential scan.
+// Only after snapshot and index are durably on disk does each shard complete
+// its clean epoch, making the entries the snapshot covered evictable.
 func (n *Node) writeSnapshot() {
 	var seq uint64
 	var markErr error
 	var recs []core.HostedMutation
+	coldIDs := make([][]core.NodeID, len(n.shards))
+	gens := make([]uint64, len(n.shards))
+	residency := false
 	ok := n.runOnShards(false, func(s *shard) {
 		if s.idx == 0 {
 			seq, markErr = n.store.Mark()
 		}
 		recs = append(recs, s.peer.ExportHosted()...)
+		if s.peer.ResidencyEnabled() {
+			residency = true
+			gens[s.idx] = s.peer.MarkCleanEpoch()
+			coldIDs[s.idx] = s.peer.ColdIDs()
+		}
 	})
 	if !ok {
 		return
@@ -104,13 +192,81 @@ func (n *Node) writeSnapshot() {
 		log.Printf("overlay: server %d snapshot mark: %v", n.id, markErr)
 		return
 	}
+	if !n.mergeColdRecords(&recs, coldIDs) {
+		return // WAL segments stay; the previous snapshot still covers us
+	}
 	var inc uint64
 	if n.membership != nil {
 		inc = n.membership.Incarnation()
 	}
 	if err := n.store.WriteSnapshot(seq, inc, recs); err != nil {
 		log.Printf("overlay: server %d snapshot write: %v", n.id, err)
+		return
 	}
+	if !residency {
+		return
+	}
+	// Snapshot + index are durable: tell each shard its pre-barrier state is
+	// clean (evictable). A shard that mutated entries after the barrier keeps
+	// those dirty — they wait for the next snapshot.
+	for _, s := range n.shards {
+		if !s.peer.ResidencyEnabled() {
+			continue
+		}
+		s, g := s, gens[s.idx]
+		select {
+		case s.control <- envelope{fn: func() {
+			s.peer.CompleteCleanEpoch(g)
+			s.peer.EnforceResidency()
+		}}:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// mergeColdRecords appends the durable state of every cold (disk-only) node
+// to recs, read from the current index generation in one sequential pass. It
+// reports false — abandoning the snapshot — if any cold entry cannot be
+// produced: writing a snapshot that silently lacks hosted state would turn
+// the next restart into data loss.
+func (n *Node) mergeColdRecords(recs *[]core.HostedMutation, coldIDs [][]core.NodeID) bool {
+	want := make(map[core.NodeID]struct{})
+	for _, l := range coldIDs {
+		for _, nd := range l {
+			want[nd] = struct{}{}
+		}
+	}
+	if len(want) == 0 {
+		return true
+	}
+	ix := n.store.AcquireIndex()
+	if ix == nil {
+		log.Printf("overlay: server %d snapshot: %d cold entries but no index generation", n.id, len(want))
+		return false
+	}
+	defer ix.Release()
+	err := ix.EachEntry(func(node core.NodeID, owned, adopted bool, payload []byte) error {
+		if _, isCold := want[node]; !isCold {
+			return nil
+		}
+		mu, err := wire.DecodeHosted(payload)
+		if err != nil {
+			return err
+		}
+		*recs = append(*recs, *mu)
+		delete(want, node)
+		return nil
+	})
+	if err != nil {
+		log.Printf("overlay: server %d snapshot cold merge: %v", n.id, err)
+		return false
+	}
+	if len(want) > 0 {
+		log.Printf("overlay: server %d snapshot: %d cold entries missing from index generation %d", n.id, len(want), ix.Seq())
+		return false
+	}
+	return true
 }
 
 // snapshotLoop writes a snapshot every SnapshotInterval until the node

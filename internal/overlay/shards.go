@@ -57,6 +57,16 @@ type shard struct {
 	// waitHist is the per-shard queue-wait histogram (nil at one shard, where
 	// the node-level histogram already tells the whole story).
 	waitHist *telemetry.Histogram
+
+	// Larger-than-RAM hosting (coldload.go). pendingCold parks queries and
+	// data requests for hosted-but-on-disk nodes while the loader goroutine
+	// reads the node index; both are loop-owned. loadCh wakes the loader;
+	// coldCapEntries/coldCapBytes are this shard's residency bounds.
+	pendingCold    map[core.NodeID]*coldPending
+	loadCh         chan core.NodeID
+	loaderDone     chan struct{}
+	coldCapEntries int
+	coldCapBytes   int64
 }
 
 // shardEnv adapts a shard to core.Env. All methods run in the shard's own

@@ -1,0 +1,493 @@
+package persist
+
+// This file implements the immutable on-disk node index behind the overlay's
+// larger-than-RAM hosted cache (DESIGN.md §14). Each snapshot generation gets
+// a companion index file holding the same barrier-consistent records, sorted
+// by node id and individually CRC-framed, plus a sparse key directory so a
+// cold miss resolves with one directory binary search and a short bounded
+// scan — without materializing the namespace in memory.
+//
+// File layout (index-<seq:016x>.idx):
+//
+//	magic "TDIDX001" | u64 seq | u64 incarnation | u32 count | u32 header CRC32C
+//	count entries, ascending by node id, unique:
+//	    u32 payload length | u32 CRC32C(payload) | payload
+//	    payload = wire.AppendHosted of a MutUpsert record
+//	directory: one (i32 node | u64 entry offset) per idxStride-th entry
+//	footer: u64 directory offset | u32 directory count | u32 CRC32C(directory+footer prefix)
+//
+// Every byte is covered by a checksum (header CRC, per-entry CRC, footer CRC
+// over the directory), and openIndex runs a full sequential validation sweep,
+// so any torn or corrupt index is rejected at open and rebuilt from the
+// snapshot — the index is a pure cache of snapshot state, never the only copy.
+//
+// An open Index is immutable and refcounted: loader goroutines Acquire it for
+// the duration of a read while the snapshot writer swaps in the next
+// generation and Retires the old one (the file closes when the last reader
+// releases).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"terradir/internal/core"
+	"terradir/internal/wire"
+)
+
+const (
+	idxMagic  = "TDIDX001"
+	idxPrefix = "index-"
+	idxSuffix = ".idx"
+
+	idxHeaderLen = 8 + 8 + 8 + 4 + 4 // magic, seq, incarnation, count, CRC
+	idxDirEntry  = 4 + 8             // i32 node, u64 absolute entry offset
+	idxFooterLen = 8 + 4 + 4         // u64 dir offset, u32 dir count, u32 CRC
+
+	// idxStride is the directory sampling interval: one in-memory key per
+	// idxStride entries, so Get scans at most idxStride frames after the
+	// directory binary search. At 64 the directory costs ~0.2 bytes of RAM
+	// per indexed node.
+	idxStride = 64
+
+	// idxMinEntry is the smallest possible hosted-record payload prefix
+	// (kind, node, flags); shorter lengths are rejected before decoding.
+	idxMinEntry = 6
+)
+
+type idxDirEnt struct {
+	node core.NodeID
+	off  int64
+}
+
+// Index is one open, validated index generation. Read methods are safe for
+// concurrent use (they share no mutable state beyond the *os.File, accessed
+// with ReadAt); lifecycle is managed with Acquire/Release/Retire.
+type Index struct {
+	path        string
+	f           *os.File
+	seq         uint64
+	incarnation uint64
+	count       int
+	dataStart   int64
+	dataEnd     int64 // directory offset: first byte past the entries
+	dir         []idxDirEnt
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+}
+
+// Seq returns the snapshot sequence this index generation covers.
+func (ix *Index) Seq() uint64 { return ix.seq }
+
+// Incarnation returns the membership incarnation persisted with the index.
+func (ix *Index) Incarnation() uint64 { return ix.incarnation }
+
+// Count returns the number of indexed entries.
+func (ix *Index) Count() int { return ix.count }
+
+// Path returns the index file path.
+func (ix *Index) Path() string { return ix.path }
+
+// Acquire takes a read reference, reporting false if the generation has been
+// retired (the caller should re-fetch the current index from the store).
+func (ix *Index) Acquire() bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.retired {
+		return false
+	}
+	ix.refs++
+	return true
+}
+
+// Release drops a read reference taken with Acquire.
+func (ix *Index) Release() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.refs--
+	if ix.retired && ix.refs <= 0 {
+		ix.closeLocked()
+	}
+}
+
+// Retire marks the generation dead: no new Acquires succeed, and the file
+// closes once the last reader releases.
+func (ix *Index) Retire() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.retired = true
+	if ix.refs <= 0 {
+		ix.closeLocked()
+	}
+}
+
+func (ix *Index) closeLocked() {
+	if ix.f != nil {
+		ix.f.Close()
+		ix.f = nil
+	}
+}
+
+// buildIndex writes the index file for one snapshot generation atomically
+// (tmp, fsync, rename). records must be sorted ascending by node id, unique,
+// and all MutUpsert — the exact output of sortHostedRecords over a
+// barrier-consistent export.
+func buildIndex(dir string, seq, incarnation uint64, records []core.HostedMutation) (string, error) {
+	final := filepath.Join(dir, fmt.Sprintf("%s%016x%s", idxPrefix, seq, idxSuffix))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("persist: index create: %w", err)
+	}
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	hdr := make([]byte, 0, idxHeaderLen)
+	hdr = append(hdr, idxMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, seq)
+	hdr = binary.LittleEndian.AppendUint64(hdr, incarnation)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(records)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr, castagnoli))
+	if _, err := w.Write(hdr); err != nil {
+		return fail(fmt.Errorf("persist: index write: %w", err))
+	}
+	off := int64(idxHeaderLen)
+	var dirb []byte
+	dirCount := 0
+	var buf []byte
+	var prev core.NodeID
+	for i := range records {
+		rec := &records[i]
+		if rec.Kind != core.MutUpsert {
+			return fail(fmt.Errorf("persist: index record %d has kind %d (want upsert)", i, rec.Kind))
+		}
+		if i > 0 && rec.Node <= prev {
+			return fail(fmt.Errorf("persist: index records out of order (node %d after %d)", rec.Node, prev))
+		}
+		prev = rec.Node
+		if i%idxStride == 0 {
+			dirb = binary.LittleEndian.AppendUint32(dirb, uint32(int32(rec.Node)))
+			dirb = binary.LittleEndian.AppendUint64(dirb, uint64(off))
+			dirCount++
+		}
+		buf = append(buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+		buf = wire.AppendHosted(buf, rec)
+		payload := buf[recHeaderLen:]
+		if len(payload) > MaxRecord {
+			return fail(fmt.Errorf("persist: index record of %d bytes exceeds MaxRecord", len(payload)))
+		}
+		binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+		if _, err := w.Write(buf); err != nil {
+			return fail(fmt.Errorf("persist: index write: %w", err))
+		}
+		off += int64(len(buf))
+	}
+	ftr := make([]byte, 0, idxFooterLen)
+	ftr = binary.LittleEndian.AppendUint64(ftr, uint64(off))
+	ftr = binary.LittleEndian.AppendUint32(ftr, uint32(dirCount))
+	crc := crc32.Update(crc32.Checksum(dirb, castagnoli), castagnoli, ftr)
+	ftr = binary.LittleEndian.AppendUint32(ftr, crc)
+	if _, err := w.Write(dirb); err != nil {
+		return fail(fmt.Errorf("persist: index write: %w", err))
+	}
+	if _, err := w.Write(ftr); err != nil {
+		return fail(fmt.Errorf("persist: index write: %w", err))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("persist: index flush: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("persist: index sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("persist: index close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("persist: index rename: %w", err)
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// openIndex opens and fully validates one index file: header and footer
+// checksums, directory consistency, and a sequential sweep CRC-checking every
+// entry and its ordering. Any corruption is an error — the caller falls back
+// to rebuilding from the snapshot.
+func openIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("persist: index stat: %w", err)
+	}
+	size := st.Size()
+	if size < idxHeaderLen+idxFooterLen {
+		return nil, fmt.Errorf("persist: index too short (%d bytes)", size)
+	}
+	var hdr [idxHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("persist: index header read: %w", err)
+	}
+	if string(hdr[:len(idxMagic)]) != idxMagic {
+		return nil, fmt.Errorf("persist: bad index magic")
+	}
+	if crc32.Checksum(hdr[:idxHeaderLen-4], castagnoli) != binary.LittleEndian.Uint32(hdr[idxHeaderLen-4:]) {
+		return nil, fmt.Errorf("persist: index header crc mismatch")
+	}
+	seq := binary.LittleEndian.Uint64(hdr[8:])
+	incarnation := binary.LittleEndian.Uint64(hdr[16:])
+	count := int(binary.LittleEndian.Uint32(hdr[24:]))
+
+	var ftr [idxFooterLen]byte
+	if _, err := f.ReadAt(ftr[:], size-idxFooterLen); err != nil {
+		return nil, fmt.Errorf("persist: index footer read: %w", err)
+	}
+	dirOff := int64(binary.LittleEndian.Uint64(ftr[:]))
+	dirCount := int(binary.LittleEndian.Uint32(ftr[8:]))
+	if dirOff < idxHeaderLen || dirOff > size-idxFooterLen {
+		return nil, fmt.Errorf("persist: index directory offset %d out of range", dirOff)
+	}
+	wantDir := 0
+	if count > 0 {
+		wantDir = (count + idxStride - 1) / idxStride
+	}
+	if dirCount != wantDir || size-idxFooterLen-dirOff != int64(dirCount)*idxDirEntry {
+		return nil, fmt.Errorf("persist: index directory count %d inconsistent with %d entries", dirCount, count)
+	}
+	dirb := make([]byte, dirCount*idxDirEntry)
+	if _, err := f.ReadAt(dirb, dirOff); err != nil {
+		return nil, fmt.Errorf("persist: index directory read: %w", err)
+	}
+	if crc32.Update(crc32.Checksum(dirb, castagnoli), castagnoli, ftr[:idxFooterLen-4]) != binary.LittleEndian.Uint32(ftr[idxFooterLen-4:]) {
+		return nil, fmt.Errorf("persist: index directory crc mismatch")
+	}
+	dir := make([]idxDirEnt, dirCount)
+	for i := range dir {
+		dir[i] = idxDirEnt{
+			node: core.NodeID(int32(binary.LittleEndian.Uint32(dirb[i*idxDirEntry:]))),
+			off:  int64(binary.LittleEndian.Uint64(dirb[i*idxDirEntry+4:])),
+		}
+	}
+	ix := &Index{
+		path:        path,
+		f:           f,
+		seq:         seq,
+		incarnation: incarnation,
+		count:       count,
+		dataStart:   idxHeaderLen,
+		dataEnd:     dirOff,
+		dir:         dir,
+	}
+	if err := ix.validate(); err != nil {
+		return nil, err
+	}
+	ok = true
+	return ix, nil
+}
+
+// validate sweeps every entry sequentially, checking frame bounds, payload
+// CRCs, strict node ordering and directory agreement. One buffered read pass;
+// memory stays bounded regardless of index size.
+func (ix *Index) validate() error {
+	r := bufio.NewReaderSize(io.NewSectionReader(ix.f, ix.dataStart, ix.dataEnd-ix.dataStart), 1<<16)
+	off := ix.dataStart
+	var prev core.NodeID
+	var hdr [recHeaderLen]byte
+	buf := make([]byte, 0, 4096)
+	for i := 0; i < ix.count; i++ {
+		node, payload, n, err := readIndexEntry(r, off, ix.dataEnd, hdr[:], &buf)
+		if err != nil {
+			return fmt.Errorf("persist: index entry %d: %w", i, err)
+		}
+		if payload[0] != byte(core.MutUpsert) {
+			return fmt.Errorf("persist: index entry %d: kind %d (want upsert)", i, payload[0])
+		}
+		if i > 0 && node <= prev {
+			return fmt.Errorf("persist: index entry %d out of order (node %d after %d)", i, node, prev)
+		}
+		if i%idxStride == 0 {
+			j := i / idxStride
+			if ix.dir[j].node != node || ix.dir[j].off != off {
+				return fmt.Errorf("persist: index directory entry %d disagrees with data", j)
+			}
+		}
+		prev = node
+		off += n
+	}
+	if off != ix.dataEnd {
+		return fmt.Errorf("persist: index has %d trailing data bytes", ix.dataEnd-off)
+	}
+	return nil
+}
+
+// readIndexEntry reads one framed entry from r (positioned at absolute offset
+// off, with entries ending at dataEnd), returning the entry's node id, its
+// CRC-verified payload (valid until the next read into buf) and the framed
+// size.
+func readIndexEntry(r io.Reader, off, dataEnd int64, hdr []byte, buf *[]byte) (core.NodeID, []byte, int64, error) {
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, 0, fmt.Errorf("torn frame header: %w", err)
+	}
+	ln := binary.LittleEndian.Uint32(hdr)
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if ln < idxMinEntry || ln > MaxRecord {
+		return 0, nil, 0, fmt.Errorf("entry length %d out of range", ln)
+	}
+	if int64(ln) > dataEnd-off-recHeaderLen {
+		return 0, nil, 0, fmt.Errorf("entry overruns data section")
+	}
+	if cap(*buf) < int(ln) {
+		*buf = make([]byte, ln)
+	}
+	payload := (*buf)[:ln]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("torn entry payload: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return 0, nil, 0, fmt.Errorf("entry crc mismatch")
+	}
+	node := core.NodeID(int32(binary.LittleEndian.Uint32(payload[1:5])))
+	return node, payload, recHeaderLen + int64(ln), nil
+}
+
+// Get returns the indexed record for node, or (nil, nil) when the node is not
+// in this generation. Safe for concurrent use; one directory binary search
+// plus a scan of at most idxStride frames.
+func (ix *Index) Get(node core.NodeID) (*core.HostedMutation, error) {
+	if len(ix.dir) == 0 || node < ix.dir[0].node {
+		return nil, nil
+	}
+	j := sort.Search(len(ix.dir), func(i int) bool { return ix.dir[i].node > node }) - 1
+	off := ix.dir[j].off
+	end := ix.dataEnd
+	if j+1 < len(ix.dir) {
+		end = ix.dir[j+1].off
+	}
+	r := bufio.NewReaderSize(io.NewSectionReader(ix.f, off, end-off), 1<<14)
+	var hdr [recHeaderLen]byte
+	var buf []byte
+	for off < end {
+		nd, payload, n, err := readIndexEntry(r, off, end, hdr[:], &buf)
+		if err != nil {
+			return nil, fmt.Errorf("persist: index get node %d: %w", node, err)
+		}
+		if nd == node {
+			mu, err := wire.DecodeHosted(payload)
+			if err != nil {
+				return nil, fmt.Errorf("persist: index get node %d: %w", node, err)
+			}
+			return mu, nil
+		}
+		if nd > node {
+			return nil, nil
+		}
+		off += n
+	}
+	return nil, nil
+}
+
+// EachEntry streams every entry in ascending node order. fn receives the node
+// id, its durable ownership flags, and the raw CRC-verified payload — valid
+// only for the duration of the call; decode with wire.DecodeHosted when the
+// full record is needed. Returning a non-nil error stops the sweep.
+func (ix *Index) EachEntry(fn func(node core.NodeID, owned, adopted bool, payload []byte) error) error {
+	r := bufio.NewReaderSize(io.NewSectionReader(ix.f, ix.dataStart, ix.dataEnd-ix.dataStart), 1<<16)
+	off := ix.dataStart
+	var hdr [recHeaderLen]byte
+	buf := make([]byte, 0, 4096)
+	for i := 0; i < ix.count; i++ {
+		node, payload, n, err := readIndexEntry(r, off, ix.dataEnd, hdr[:], &buf)
+		if err != nil {
+			return fmt.Errorf("persist: index entry %d: %w", i, err)
+		}
+		flags := payload[5]
+		if err := fn(node, flags&1 != 0, flags&2 != 0, payload); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// sortHostedRecords orders records ascending by node id (stable) and drops
+// duplicates in place, keeping the first occurrence — the canonical input for
+// buildIndex and, with the index enabled, for WriteSnapshot.
+func sortHostedRecords(recs []core.HostedMutation) []core.HostedMutation {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Node < recs[j].Node })
+	out := recs[:0]
+	for i := range recs {
+		if len(out) > 0 && out[len(out)-1].Node == recs[i].Node {
+			continue
+		}
+		out = append(out, recs[i])
+	}
+	return out
+}
+
+// rebuildIndex writes and reopens the index generation for a verified
+// snapshot's records (sorted in place), returning nil on failure — the
+// caller then falls back to classic in-memory replay.
+func (s *Store) rebuildIndex(seq, incarnation uint64, records []core.HostedMutation) *Index {
+	path, err := buildIndex(s.dir, seq, incarnation, sortHostedRecords(records))
+	if err != nil {
+		s.opts.Logf("persist: index rebuild for snapshot %d failed: %v", seq, err)
+		return nil
+	}
+	ix, err := openIndex(path)
+	if err != nil {
+		s.opts.Logf("persist: reopen rebuilt index %s: %v", path, err)
+		return nil
+	}
+	return ix
+}
+
+// indexPath returns the index file path for snapshot generation seq.
+func (s *Store) indexPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", idxPrefix, seq, idxSuffix))
+}
+
+// setIndex installs ix as the current generation, retiring the previous one.
+func (s *Store) setIndex(ix *Index) {
+	if old := s.idx.Swap(ix); old != nil {
+		old.Retire()
+	}
+}
+
+// AcquireIndex returns the current index generation with a read reference
+// taken (Release when done), or nil when no index is available. Safe from any
+// goroutine.
+func (s *Store) AcquireIndex() *Index {
+	for i := 0; i < 4; i++ {
+		ix := s.idx.Load()
+		if ix == nil {
+			return nil
+		}
+		if ix.Acquire() {
+			return ix
+		}
+		// Lost a race with a generation swap; re-fetch the new one.
+	}
+	return nil
+}

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"terradir/internal/core"
@@ -110,6 +111,12 @@ type Options struct {
 	Registry     *telemetry.Registry
 	Labels       []string // label k/v pairs for registered metrics
 	Logf         func(format string, args ...any)
+	// NodeIndex maintains an on-disk sorted node index beside each snapshot
+	// (see index.go): WriteSnapshot builds one from the same records, Open
+	// prefers a valid index over materializing the snapshot (ReplayState.
+	// Indexed), and AcquireIndex serves point reads for the overlay's cold
+	// hosted entries.
+	NodeIndex bool
 }
 
 func (o *Options) fill() {
@@ -138,11 +145,23 @@ type ReplayState struct {
 	// Truncated reports that replay hit a torn or corrupt record and stopped
 	// there (pre-tail records are all applied).
 	Truncated bool
+	// Indexed reports that a valid on-disk node index covers the snapshot
+	// (Options.NodeIndex): Mutations then holds only the WAL tail, and the
+	// snapshot's full-state records are read through Store.AcquireIndex
+	// instead of being materialized in memory.
+	Indexed bool
+	// IndexedRecords is the indexed snapshot's record count (Indexed only).
+	IndexedRecords int
 }
 
-// HasState reports whether the directory held any prior peer state.
+// HasState reports whether the directory held any prior peer state. An
+// indexed replay streams its snapshot records through the index rather than
+// Mutations, so IndexedRecords must count too — otherwise a peer restarting
+// from a seq-0 snapshot would be mistaken for stateless and lose its
+// delta-only rejoin.
 func (rs *ReplayState) HasState() bool {
-	return len(rs.Mutations) > 0 || rs.LastSeq > 0 || rs.SnapshotSeq > 0 || rs.Incarnation > 0
+	return len(rs.Mutations) > 0 || rs.IndexedRecords > 0 ||
+		rs.LastSeq > 0 || rs.SnapshotSeq > 0 || rs.Incarnation > 0
 }
 
 // Store is the open durability tier of one peer. Append may be called from
@@ -161,6 +180,11 @@ type Store struct {
 	lastSync time.Time
 	closed   bool
 	buf      []byte
+
+	// idx is the current node-index generation (Options.NodeIndex; nil when
+	// disabled or not yet built). Swapped by WriteSnapshot, read-referenced by
+	// loaders via AcquireIndex.
+	idx atomic.Pointer[Index]
 
 	walAppends  *telemetry.Counter
 	walBytes    *telemetry.Counter
@@ -326,8 +350,16 @@ func (s *Store) openSegmentLocked(start uint64) error {
 // with sequence ≤ seq (from Mark), then retires the WAL segments and older
 // snapshots it supersedes. Called off the event loops; appends proceed
 // concurrently into the post-Mark segment.
+//
+// With Options.NodeIndex, the records are sorted and deduplicated in place
+// and a companion index generation is built from the same bytes and swapped
+// live; an index build failure fails the snapshot (nothing is retired, so
+// the WAL still covers every record).
 func (s *Store) WriteSnapshot(seq, incarnation uint64, records []core.HostedMutation) error {
 	start := time.Now()
+	if s.opts.NodeIndex {
+		records = sortHostedRecords(records)
+	}
 	b := make([]byte, 0, 64+len(records)*64)
 	b = append(b, snapMagic...)
 	b = binary.LittleEndian.AppendUint64(b, seq)
@@ -366,6 +398,17 @@ func (s *Store) WriteSnapshot(seq, incarnation uint64, records []core.HostedMuta
 		return fmt.Errorf("persist: snapshot rename: %w", err)
 	}
 	syncDir(s.dir)
+	if s.opts.NodeIndex {
+		path, err := buildIndex(s.dir, seq, incarnation, records)
+		if err != nil {
+			return err
+		}
+		ix, err := openIndex(path)
+		if err != nil {
+			return fmt.Errorf("persist: reopen built index: %w", err)
+		}
+		s.setIndex(ix)
+	}
 	s.retire(seq)
 	if s.snapshots != nil {
 		s.snapshots.Inc()
@@ -376,7 +419,7 @@ func (s *Store) WriteSnapshot(seq, incarnation uint64, records []core.HostedMuta
 
 // retire removes WAL segments fully covered by the snapshot at seq (their
 // records all have sequence ≤ seq because Mark rolled the segment at the
-// barrier) and snapshots older than it.
+// barrier), snapshots older than it, and superseded index generations.
 func (s *Store) retire(seq uint64) {
 	s.mu.Lock()
 	open := s.segStart
@@ -391,11 +434,18 @@ func (s *Store) retire(seq uint64) {
 			os.Remove(sn.path)
 		}
 	}
+	for _, ixf := range listSeqFiles(s.dir, idxPrefix, idxSuffix) {
+		if ixf.seq < seq {
+			os.Remove(ixf.path)
+		}
+	}
 	syncDir(s.dir)
 }
 
-// Close fsyncs and closes the WAL. Further appends fail.
+// Close fsyncs and closes the WAL (and the current index generation, once
+// its readers drain). Further appends fail.
 func (s *Store) Close() error {
+	s.setIndex(nil)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

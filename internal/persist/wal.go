@@ -22,13 +22,49 @@ func (s *Store) replay() (*ReplayState, error) {
 
 	// Newest snapshot that verifies wins; corrupt ones are skipped with a
 	// warning (an older snapshot plus a longer WAL tail replays the same
-	// state).
+	// state). With the node index enabled, a valid index generation covering
+	// the snapshot is preferred: the snapshot's records stay on disk
+	// (rs.Indexed) instead of being materialized, and a missing or corrupt
+	// index is rebuilt from the snapshot it mirrors.
 	snaps := listSeqFiles(s.dir, snapPrefix, snapSuffix)
 	for i := len(snaps) - 1; i >= 0; i-- {
+		if s.opts.NodeIndex {
+			ixPath := s.indexPath(snaps[i].seq)
+			ix, err := openIndex(ixPath)
+			if err == nil && ix.seq != snaps[i].seq {
+				err = fmt.Errorf("persist: index seq %d does not match snapshot %d", ix.seq, snaps[i].seq)
+				ix.Retire()
+			}
+			if err == nil {
+				rs.Incarnation = ix.incarnation
+				rs.SnapshotSeq = snaps[i].seq
+				rs.Indexed = true
+				rs.IndexedRecords = ix.count
+				s.setIndex(ix)
+				break
+			}
+			if !os.IsNotExist(err) {
+				s.opts.Logf("persist: index %s unusable, rebuilding from snapshot: %v", ixPath, err)
+			}
+		}
 		records, inc, err := loadSnapshot(snaps[i].path)
 		if err != nil {
 			s.opts.Logf("persist: skipping snapshot %s: %v", snaps[i].path, err)
 			continue
+		}
+		if s.opts.NodeIndex {
+			// Rebuild the index generation from the verified snapshot records
+			// (the index is a pure cache of snapshot state). On success the
+			// records are served through it; on failure fall back to the
+			// classic in-memory replay.
+			if ix := s.rebuildIndex(snaps[i].seq, inc, records); ix != nil {
+				rs.Incarnation = inc
+				rs.SnapshotSeq = snaps[i].seq
+				rs.Indexed = true
+				rs.IndexedRecords = ix.count
+				s.setIndex(ix)
+				break
+			}
 		}
 		rs.Mutations = records
 		rs.Incarnation = inc

@@ -150,7 +150,9 @@ func (s *TraceStore) record(id uint64) *TraceRecord {
 		s.fifo = s.fifo[1:]
 		delete(s.recs, victim)
 	}
-	tr := &TraceRecord{ID: id}
+	// Reserve a typical route's worth of spans up front so the one-at-a-time
+	// inserts don't regrow the slice every hop.
+	tr := &TraceRecord{ID: id, Spans: make([]Span, 0, 8)}
 	s.recs[id] = tr
 	s.fifo = append(s.fifo, id)
 	return tr
