@@ -24,15 +24,16 @@ import (
 
 // openLoopConfig parameterizes one fixed-arrival-rate run.
 type openLoopConfig struct {
-	Target   string  // "direct" (in-process LocalCluster) or "gw" (TCP peers behind a gateway)
-	Dist     string  // "unif" or "zipf"
-	Alpha    float64 // Zipf exponent (ignored for unif)
-	Servers  int
-	Shards   int
-	Rate     float64 // offered lookups/sec across the whole cluster
-	Duration time.Duration
-	Clients  int // worker goroutines sharing the arrival schedule
-	Seed     uint64
+	Target      string  // "direct" (in-process LocalCluster) or "gw" (TCP peers behind a gateway)
+	Dist        string  // "unif" or "zipf"
+	Alpha       float64 // Zipf exponent (ignored for unif)
+	Servers     int
+	Shards      int
+	IngestBatch int     // envelopes a shard loop drains per wakeup (0 = node default)
+	Rate        float64 // offered lookups/sec across the whole cluster
+	Duration    time.Duration
+	Clients     int // worker goroutines sharing the arrival schedule
+	Seed        uint64
 }
 
 // openLoopResult is the machine-readable outcome of one open-loop run.
@@ -42,19 +43,25 @@ type openLoopResult struct {
 	Alpha        float64 `json:"alpha,omitempty"`
 	Servers      int     `json:"servers"`
 	Shards       int     `json:"shards"`
+	IngestBatch  int     `json:"ingest_batch,omitempty"`
 	OfferedRate  float64 `json:"offered_rate_lps"`
 	AchievedRate float64 `json:"achieved_rate_lps"`
 	Arrivals     int     `json:"arrivals"`
 	Failures     int     `json:"failures"`
 	Coalesced    float64 `json:"gw_coalesce_hits,omitempty"`
 	Hedged       float64 `json:"gw_hedges_fired,omitempty"`
-	P50Micros    float64 `json:"p50_us"`
-	P90Micros    float64 `json:"p90_us"`
-	P99Micros    float64 `json:"p99_us"`
-	P999Micros   float64 `json:"p999_us"`
-	MaxMicros    float64 `json:"max_us"`
-	PeakHeapMB   float64 `json:"peak_heap_mb"`
-	PeakRSSMB    float64 `json:"peak_rss_mb,omitempty"`
+	// FramesPerRead is the mean frames decoded per read(2) across the peer
+	// transports (terradir_transport_frames_per_read); >1 means the batched
+	// receive path is amortizing syscalls. Only meaningful for -target gw —
+	// the direct target has no sockets.
+	FramesPerRead float64 `json:"frames_per_read,omitempty"`
+	P50Micros     float64 `json:"p50_us"`
+	P90Micros     float64 `json:"p90_us"`
+	P99Micros     float64 `json:"p99_us"`
+	P999Micros    float64 `json:"p999_us"`
+	MaxMicros     float64 `json:"max_us"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
+	PeakRSSMB     float64 `json:"peak_rss_mb,omitempty"`
 }
 
 // memSampler tracks the process's peak live heap over a run by polling
@@ -184,7 +191,7 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 			return nil
 		}
 	case "gw":
-		gw, stop, err := newGatewayTarget(tree, cfg)
+		gw, framesPerRead, stop, err := newGatewayTarget(tree, cfg)
 		if err != nil {
 			return openLoopResult{}, err
 		}
@@ -203,6 +210,7 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 			snap := gw.Registry().Snapshot()
 			r.Coalesced = snap["terradir_gw_coalesce_hits_total"]
 			r.Hedged = snap["terradir_gw_hedge_fired_total"]
+			r.FramesPerRead = framesPerRead()
 		}
 	default:
 		return openLoopResult{}, fmt.Errorf("unknown -target %q (want direct or gw)", cfg.Target)
@@ -266,6 +274,7 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 		Alpha:        cfg.Alpha,
 		Servers:      cfg.Servers,
 		Shards:       cfg.Shards,
+		IngestBatch:  cfg.IngestBatch,
 		OfferedRate:  cfg.Rate,
 		AchievedRate: float64(total) / elapsed.Seconds(),
 		Arrivals:     total,
@@ -292,13 +301,16 @@ func runOpenLoop(cfg openLoopConfig) (openLoopResult, error) {
 func newDirectTarget(tree *namespace.Tree, cfg openLoopConfig) (*overlay.LocalCluster, error) {
 	opts := overlay.LocalClusterOptions{Servers: cfg.Servers, Seed: cfg.Seed}
 	opts.Node.Shards = cfg.Shards
+	opts.Node.IngestBatch = cfg.IngestBatch
 	return overlay.NewLocalCluster(tree, opts)
 }
 
 // newGatewayTarget boots cfg.Servers real TCP peers on loopback and one
 // gateway in front of them; lookups traverse two TCP hops (client→gateway is
-// in-process here, gateway→peer and the peer overlay are real sockets).
-func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gateway, func(), error) {
+// in-process here, gateway→peer and the peer overlay are real sockets). The
+// second return value reports the mean frames decoded per read(2) across the
+// peer transports so far.
+func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gateway, func() float64, func(), error) {
 	owner := overlay.Assign(tree, cfg.Servers, cfg.Seed)
 	ownerOf := func(nd core.NodeID) core.ServerID { return owner[nd] }
 	ownedBy := make([][]core.NodeID, cfg.Servers)
@@ -324,7 +336,7 @@ func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gatewa
 			map[core.ServerID]string{}, overlay.TCPTransportOptions{Seed: cfg.Seed + uint64(i)})
 		if err != nil {
 			stop()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		trs[i] = tr
 		addrs[core.ServerID(i)] = tr.Addr()
@@ -335,10 +347,10 @@ func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gatewa
 			trs[i].SetAddr(core.ServerID(j), addrs[core.ServerID(j)])
 		}
 		nd, err := overlay.NewNode(core.ServerID(i), tree, ownedBy[i], ownerOf,
-			overlay.Options{Seed: cfg.Seed + uint64(i), Shards: cfg.Shards})
+			overlay.Options{Seed: cfg.Seed + uint64(i), Shards: cfg.Shards, IngestBatch: cfg.IngestBatch})
 		if err != nil {
 			stop()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		nodes[i] = nd
 		overlay.StartTCPNode(nd, trs[i])
@@ -347,7 +359,7 @@ func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gatewa
 		overlay.TCPTransportOptions{ClientRole: true, Seed: cfg.Seed + 1000})
 	if err != nil {
 		stop()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	probeDest := make(map[core.ServerID]core.NodeID, cfg.Servers)
 	for nd, s := range owner {
@@ -370,9 +382,28 @@ func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gatewa
 	if err != nil {
 		gwTr.Close()
 		stop()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return gw, func() {
+	framesPerRead := func() float64 {
+		var sum, count float64
+		for _, nd := range nodes {
+			if nd == nil {
+				continue
+			}
+			for k, v := range nd.Registry().Snapshot() {
+				if strings.HasPrefix(k, "terradir_transport_frames_per_read_sum") {
+					sum += v
+				} else if strings.HasPrefix(k, "terradir_transport_frames_per_read_count") {
+					count += v
+				}
+			}
+		}
+		if count == 0 {
+			return 0
+		}
+		return sum / count
+	}
+	return gw, framesPerRead, func() {
 		gw.Close()
 		gwTr.Close()
 		stop()
@@ -381,20 +412,21 @@ func newGatewayTarget(tree *namespace.Tree, cfg openLoopConfig) (*gateway.Gatewa
 
 // openLoopMain is the -openloop entry point: run the configured sweep and
 // print one JSON object per line (shard count × rate).
-func openLoopMain(target, dist string, alpha float64, servers, clients int, shardList []int, rates []float64, dur time.Duration, seed uint64) {
+func openLoopMain(target, dist string, alpha float64, servers, clients, ingestBatch int, shardList []int, rates []float64, dur time.Duration, seed uint64) {
 	enc := json.NewEncoder(os.Stdout)
 	for _, shards := range shardList {
 		for _, rate := range rates {
 			cfg := openLoopConfig{
-				Target:   target,
-				Dist:     dist,
-				Alpha:    alpha,
-				Servers:  servers,
-				Shards:   shards,
-				Rate:     rate,
-				Duration: dur,
-				Clients:  clients,
-				Seed:     seed,
+				Target:      target,
+				Dist:        dist,
+				Alpha:       alpha,
+				Servers:     servers,
+				Shards:      shards,
+				IngestBatch: ingestBatch,
+				Rate:        rate,
+				Duration:    dur,
+				Clients:     clients,
+				Seed:        seed,
 			}
 			r, err := runOpenLoop(cfg)
 			if err != nil {

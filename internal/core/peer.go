@@ -168,6 +168,7 @@ type Peer struct {
 	sysLoadEst    float64 // mean of gossiped loads, refreshed each Maintain
 
 	recentAdverts []advertRecord
+	advertSweptAt float64 // last advert-expiry sweep (BatchTick amortization)
 
 	sess           replSession
 	nextSession    uint64
@@ -231,6 +232,14 @@ type Peer struct {
 // advertTTL is how long (seconds) a newly created replica is piggybacked as
 // a fresh advertisement on outgoing messages.
 const advertTTL = 2.0
+
+// advertSweepSlack is how long a completed advert-expiry sweep stays fresh:
+// piggyback skips the in-place compaction within this window, so a
+// batch-drain loop calling BatchTick once pays one compaction per batch
+// instead of one per outgoing message. Emission is TTL-filtered on every
+// message regardless, so sweep timing never shows on the wire — the slack
+// only bounds how long an expired record occupies its slice slot.
+const advertSweepSlack = 0.05
 
 // NewPeer constructs a peer. cfg must validate. Ownership is declared with
 // AddOwned and finalized with FinishSetup before any message handling.
@@ -567,15 +576,17 @@ func (p *Peer) KnownLoadCount() int { return len(p.knownLoads) }
 func (p *Peer) piggyback() Piggyback {
 	pb := Piggyback{From: p.ID, Load: p.effLoad()}
 	now := p.env.Now()
-	// Expire stale adverts in place.
-	kept := p.recentAdverts[:0]
-	for _, a := range p.recentAdverts {
-		if now-a.created <= advertTTL {
-			kept = append(kept, a)
-		}
+	// Compact stale adverts in place, unless BatchTick already swept within
+	// the slack window — batch-drain loops amortize the compaction across the
+	// whole batch. Emission still filters by TTL on every message, so the
+	// rider's contents are independent of sweep timing.
+	if now-p.advertSweptAt > advertSweepSlack {
+		p.sweepAdverts(now)
 	}
-	p.recentAdverts = kept
-	for _, a := range kept {
+	for _, a := range p.recentAdverts {
+		if now-a.created > advertTTL {
+			continue
+		}
 		pb.Adverts = append(pb.Adverts, Advert{Node: a.node, Servers: append([]ServerID(nil), a.servers...)})
 	}
 	if p.cfg.DigestsEnabled && p.cfg.DigestsPerMessage > 0 {
@@ -595,6 +606,30 @@ func (p *Peer) piggyback() Piggyback {
 		}
 	}
 	return pb
+}
+
+// sweepAdverts expires stale adverts in place and stamps the sweep time.
+func (p *Peer) sweepAdverts(now float64) {
+	kept := p.recentAdverts[:0]
+	for _, a := range p.recentAdverts {
+		if now-a.created <= advertTTL {
+			kept = append(kept, a)
+		}
+	}
+	p.recentAdverts = kept
+	p.advertSweptAt = now
+}
+
+// BatchTick runs the per-batch amortized bookkeeping for a batch-drain event
+// loop: one advert-expiry sweep (piggyback then skips its per-message sweep
+// for advertSweepSlack) and one digest rebuild if the hosted set changed,
+// instead of paying both on every outgoing message of the batch. Call it once
+// per drained inbox batch, before handling the batch's messages.
+func (p *Peer) BatchTick() {
+	p.sweepAdverts(p.env.Now())
+	if p.digestDirty && p.sharedDigest == nil {
+		p.rebuildDigest()
+	}
 }
 
 // absorbPiggy ingests a received rider: load gossip, adverts, digests.

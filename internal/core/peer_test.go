@@ -397,6 +397,42 @@ func TestPiggybackAdvertExpiry(t *testing.T) {
 	}
 }
 
+// TestBatchTickAmortizesAdvertSweep: after BatchTick, piggyback skips the
+// in-place compaction of the advert list for advertSweepSlack, but what it
+// EMITS is always TTL-filtered — sweep timing is a memory optimization,
+// never visible on the wire.
+func TestBatchTickAmortizesAdvertSweep(t *testing.T) {
+	tree, ids := paperTree()
+	env := &fakeEnv{}
+	p := newTestPeer(t, tree, 0, []NodeID{ids["/u"]}, 1, DefaultConfig(), env)
+	p.recentAdverts = append(p.recentAdverts, advertRecord{node: ids["/u"], servers: []ServerID{3}, created: 0})
+	env.now = advertTTL - 0.01
+	p.BatchTick()
+	if len(p.recentAdverts) != 1 {
+		t.Fatal("BatchTick swept a live advert")
+	}
+	if pb := p.piggyback(); len(pb.Adverts) != 1 {
+		t.Fatal("live advert not emitted")
+	}
+	// Just past the TTL but inside the sweep slack: the expired advert is
+	// still resident (compaction amortized) yet never rides a message.
+	env.now = advertTTL + 0.01
+	if pb := p.piggyback(); len(pb.Adverts) != 0 {
+		t.Fatalf("expired advert rode a piggyback: %+v", pb.Adverts)
+	}
+	if len(p.recentAdverts) != 1 {
+		t.Fatal("compaction ran inside the slack window (amortization broken)")
+	}
+	// Past the slack: the per-message sweep resumes and compacts it away.
+	env.now = advertTTL - 0.01 + advertSweepSlack + 0.01
+	if pb := p.piggyback(); len(pb.Adverts) != 0 {
+		t.Fatalf("expired advert survived past the slack: %+v", pb.Adverts)
+	}
+	if len(p.recentAdverts) != 0 {
+		t.Fatal("expired advert not compacted after the slack")
+	}
+}
+
 func TestPiggybackIncludesOwnDigest(t *testing.T) {
 	tree, ids := paperTree()
 	p := newTestPeer(t, tree, 0, []NodeID{ids["/u"]}, 1, DefaultConfig(), &fakeEnv{})

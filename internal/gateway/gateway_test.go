@@ -159,6 +159,16 @@ func TestGatewayLookupBasic(t *testing.T) {
 	if _, err := g.Lookup(ctx, core.NodeID(c.tree.Len())); err == nil {
 		t.Fatal("out-of-range node did not error")
 	}
+
+	// The gateway's reply frames arrive through the batched FrameReader path:
+	// the downstream transport must account for them.
+	ts := c.gwTr.Stats()
+	if ts.FramesRead == 0 {
+		t.Fatal("gateway transport read replies but FramesRead == 0")
+	}
+	if ts.ReadBatches == 0 || ts.ReadBatches > ts.FramesRead {
+		t.Fatalf("ReadBatches = %d out of range (0, FramesRead=%d]", ts.ReadBatches, ts.FramesRead)
+	}
 }
 
 func TestGatewayWireSurface(t *testing.T) {

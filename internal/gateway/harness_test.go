@@ -21,6 +21,7 @@ type testCluster struct {
 	addrs   map[core.ServerID]string
 	peers   []core.ServerID
 	stopped []bool
+	gwTr    *overlay.TCPTransport // the last startGateway's downstream transport
 }
 
 // startCluster boots n TCP peers (each with its outbound path wrapped in a
@@ -130,6 +131,7 @@ func (c *testCluster) startGateway(tweak func(*Options)) *Gateway {
 	if err != nil {
 		c.t.Fatal(err)
 	}
+	c.gwTr = gwTr
 	opts := Options{
 		Tree:      c.tree,
 		Self:      core.ClientID(0),

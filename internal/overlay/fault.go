@@ -8,6 +8,7 @@ import (
 
 	"terradir/internal/core"
 	"terradir/internal/rng"
+	"terradir/internal/telemetry"
 )
 
 // FaultOptions configures a FaultTransport's steady-state behavior. All
@@ -192,6 +193,15 @@ func (f *FaultTransport) SendTo(addr string, m core.Message) error {
 		return ds.SendTo(addr, m)
 	}
 	return fmt.Errorf("overlay: wrapped transport cannot send by address")
+}
+
+// SetReadHistogram forwards the frames-per-read histogram to the wrapped
+// transport when it records one (TCPTransport does; LocalTransport has no
+// read(2) path), so receive-batching telemetry survives fault wrapping.
+func (f *FaultTransport) SetReadHistogram(h *telemetry.Histogram) {
+	if hs, ok := f.inner.(ReadHistogramSetter); ok {
+		hs.SetReadHistogram(h)
+	}
 }
 
 // Stats reports the wrapped transport's counters (zero if it exports none)

@@ -23,13 +23,14 @@ type LocalTransport struct {
 	nodes []*Node
 	delay time.Duration
 
-	mu      sync.Mutex
-	pending []delayedMsg
-	scratch []delayedMsg // reused due-batch buffer (delay goroutine only)
-	closed  bool
-	wake    chan struct{}
-	stop    chan struct{}
-	done    chan struct{}
+	mu         sync.Mutex
+	pending    []delayedMsg
+	scratch    []delayedMsg   // reused due-batch buffer (delay goroutine only)
+	msgScratch []core.Message // reused same-dst run buffer (delay goroutine only)
+	closed     bool
+	wake       chan struct{}
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 type delayedMsg struct {
@@ -128,8 +129,27 @@ func (t *LocalTransport) runDelay() {
 		}
 		t.pending = t.pending[:rest]
 		t.mu.Unlock()
+		// Deliver consecutive same-destination runs as one batch: each run
+		// shares a single wall-clock read and inbox wakeup on the receiving
+		// node, matching the TCP read path's batch delivery.
+		msgs := t.msgScratch
+		for start := 0; start < len(batch); {
+			dst := batch[start].dst
+			msgs = msgs[:0]
+			end := start
+			for end < len(batch) && batch[end].dst == dst {
+				msgs = append(msgs, batch[end].m)
+				end++
+			}
+			dst.DeliverBatch(msgs)
+			start = end
+		}
+		msgs = msgs[:cap(msgs)]
+		for i := range msgs { // drop message references held by the scratch
+			msgs[i] = nil
+		}
+		t.msgScratch = msgs[:0]
 		for i := range batch {
-			batch[i].dst.Deliver(batch[i].m)
 			batch[i] = delayedMsg{}
 		}
 		t.scratch = batch[:0]

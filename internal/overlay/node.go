@@ -77,6 +77,11 @@ type Options struct {
 	// ring successor instead of taking a full warmup stream. See
 	// PersistOptions and DESIGN.md §13.
 	Persist *PersistOptions
+	// IngestBatch caps how many envelopes a shard event loop drains per
+	// wakeup, amortizing snapshot-publish checks, digest/advert bookkeeping
+	// and the WAL group commit across the batch (DESIGN.md §15). Default 64;
+	// 1 restores strict one-envelope-per-wakeup servicing.
+	IngestBatch int
 }
 
 func (o *Options) fill(id core.ServerID) {
@@ -106,6 +111,12 @@ func (o *Options) fill(id core.ServerID) {
 	}
 	if o.TraceSample == 0 {
 		o.TraceSample = 1
+	}
+	if o.IngestBatch <= 0 {
+		o.IngestBatch = 64
+	}
+	if o.IngestBatch > 1024 {
+		o.IngestBatch = 1024
 	}
 }
 
@@ -160,8 +171,11 @@ type TransportStats struct {
 	DialErrors    uint64 // failed connection attempts
 	Redials       uint64 // successful dials after a connection previously existed
 	CorruptFrames uint64 // inbound frames that failed framing or decoding
+	UnknownFrames uint64 // well-framed inbound frames of an unrecognized kind or wire version (rolling upgrades) — skipped, not corruption
 	ConnErrors    uint64 // inbound connections terminated by a non-EOF error
 	FaultDrops    uint64 // messages dropped by fault injection (FaultTransport)
+	FramesRead    uint64 // frames read off inbound connections (batched reader)
+	ReadBatches   uint64 // read-loop wakeups that yielded >=1 frame; FramesRead/ReadBatches is the receive-coalescing factor
 	QueueDepth    int    // messages currently queued outbound (gauge)
 }
 
@@ -175,7 +189,8 @@ type StatsReporter interface {
 type transportCounters struct {
 	enqueued, sent, flushes, queueDrops, writeErrors atomic.Uint64
 	dials, dialErrors, redials                       atomic.Uint64
-	corruptFrames, connErrors                        atomic.Uint64
+	corruptFrames, unknownFrames, connErrors         atomic.Uint64
+	framesRead, readBatches                          atomic.Uint64
 }
 
 // TransportStats reports the node's transport counters, or a zero snapshot
@@ -247,11 +262,12 @@ type Node struct {
 	idxEvictions *telemetry.Counter
 	idxLoadHist  *telemetry.Histogram
 
-	inboxDrops    *telemetry.Counter
-	queueWaitHist *telemetry.Histogram
-	serviceHist   *telemetry.Histogram
-	latencyHist   *telemetry.Histogram
-	hopsHist      *telemetry.Histogram
+	inboxDrops     *telemetry.Counter
+	batchDepthHist *telemetry.Histogram // envelopes drained per shard wakeup
+	queueWaitHist  *telemetry.Histogram
+	serviceHist    *telemetry.Histogram
+	latencyHist    *telemetry.Histogram
+	hopsHist       *telemetry.Histogram
 
 	// Lock-free snapshot fast path (see core.RouteSnapshot). sendFn is bound
 	// once so per-query fast serves allocate no closures. Learn gating
@@ -384,6 +400,9 @@ func NewNode(id core.ServerID, tree *namespace.Tree, owned []core.NodeID, ownerO
 		"Queries dropped because the server's bounded request queue was full.", server...)
 	n.queueWaitHist = n.reg.Histogram("terradir_queue_wait_seconds",
 		"Time queries spent in the request queue before service.", latencyLayout, server...)
+	n.batchDepthHist = n.reg.Histogram("terradir_shard_batch_depth",
+		"Envelopes drained per shard event-loop wakeup (Options.IngestBatch caps it).",
+		telemetry.HistogramOpts{Min: 1, Max: 4096, BucketsPerDecade: 8}, server...)
 	n.serviceHist = n.reg.Histogram("terradir_service_seconds",
 		"Per-query service time (protocol handling plus configured delay).", latencyLayout, server...)
 	n.latencyHist = n.reg.Histogram("terradir_lookup_latency_seconds",
@@ -563,12 +582,32 @@ func (n *Node) registerTransportMetrics() {
 		func(s TransportStats) uint64 { return s.Redials })
 	counter("terradir_transport_corrupt_frames_total", "Inbound frames that failed framing or decoding.",
 		func(s TransportStats) uint64 { return s.CorruptFrames })
+	counter("terradir_transport_unknown_frames_total", "Well-framed inbound frames of an unrecognized kind or version (rolling upgrades), skipped without tearing down the connection.",
+		func(s TransportStats) uint64 { return s.UnknownFrames })
 	counter("terradir_transport_conn_errors_total", "Inbound connections terminated by a non-EOF error.",
 		func(s TransportStats) uint64 { return s.ConnErrors })
 	counter("terradir_transport_fault_drops_total", "Messages dropped by fault injection.",
 		func(s TransportStats) uint64 { return s.FaultDrops })
+	counter("terradir_transport_frames_read_total", "Frames read off inbound connections.",
+		func(s TransportStats) uint64 { return s.FramesRead })
+	counter("terradir_transport_read_batches_total", "Read-loop wakeups yielding >=1 frame; frames_read/read_batches is the receive-coalescing factor.",
+		func(s TransportStats) uint64 { return s.ReadBatches })
 	n.reg.GaugeFunc("terradir_transport_queue_depth", "Messages currently queued outbound.",
 		func() float64 { return float64(sr.Stats().QueueDepth) }, server...)
+	// The frames-per-read distribution can't be derived from counter
+	// snapshots; transports that batch reads accept a histogram to feed.
+	if hs, ok := n.transport.(ReadHistogramSetter); ok {
+		hs.SetReadHistogram(n.reg.Histogram("terradir_transport_frames_per_read",
+			"Frames decoded per buffered read batch (receive coalescing under the batched sender).",
+			telemetry.HistogramOpts{Min: 1, Max: 4096, BucketsPerDecade: 8}, server...))
+	}
+}
+
+// ReadHistogramSetter is implemented by transports whose batched read path
+// can feed a frames-per-read histogram (TCPTransport; FaultTransport
+// forwards).
+type ReadHistogramSetter interface {
+	SetReadHistogram(*telemetry.Histogram)
 }
 
 // Stop terminates the membership service (if any), every shard loop and the
@@ -828,10 +867,26 @@ func (n *Node) toShard(s *shard, env envelope) {
 // traffic by session tag or payload node, warmup streams fanned across
 // shards. Queries beyond the inbox bound are dropped.
 func (n *Node) Deliver(m core.Message) {
+	n.deliver(m, time.Since(n.epoch).Seconds())
+}
+
+// DeliverBatch injects a batch of incoming messages in order — transports
+// deliver every frame decoded from one buffered read as one batch. The
+// enqueue timestamp is read once for the whole batch: every member had
+// already arrived when delivery began, so queue-wait histograms keep
+// measuring from arrival, and the per-message clock read is amortized away.
+func (n *Node) DeliverBatch(batch []core.Message) {
+	now := time.Since(n.epoch).Seconds()
+	for _, m := range batch {
+		n.deliver(m, now)
+	}
+}
+
+func (n *Node) deliver(m core.Message, now float64) {
 	switch msg := m.(type) {
 	case *core.QueryMsg:
 		s := n.shardFor(msg.Dest)
-		msg.Enqueued = time.Since(n.epoch).Seconds()
+		msg.Enqueued = now
 		n.fanForeignPath(s.idx, msg.Path)
 		if n.fastEnabled && n.tryFastServe(s, msg) {
 			return

@@ -8,11 +8,13 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"terradir/internal/core"
 	"terradir/internal/rng"
+	"terradir/internal/telemetry"
 	"terradir/internal/wire"
 )
 
@@ -25,6 +27,11 @@ const maxBatchBytes = 256 << 10
 // maxPooledBuf bounds the capacity of encode buffers kept on a peer's free
 // list — one oversized replicate frame must not pin megabytes forever.
 const maxPooledBuf = 64 << 10
+
+// maxReadBatch caps how many decoded messages one read-loop wakeup delivers
+// as a single batch, bounding the latency a saturated inbound buffer can add
+// to the first message of the next batch.
+const maxReadBatch = 256
 
 // TCPTransportOptions tunes the transport's asynchronous outbound path. The
 // zero value selects the defaults documented per field.
@@ -112,6 +119,17 @@ type TCPTransport struct {
 	wg      sync.WaitGroup
 
 	ctr transportCounters
+
+	// readHist, when set, observes frames-per-read per delivered batch (see
+	// Node.registerTransportMetrics and the gateway's metrics).
+	readHist atomic.Pointer[telemetry.Histogram]
+}
+
+// SetReadHistogram installs the histogram fed by the batched read path with
+// frames-decoded-per-underlying-read samples. Safe to call any time; nil
+// uninstalls.
+func (t *TCPTransport) SetReadHistogram(h *telemetry.Histogram) {
+	t.readHist.Store(h)
 }
 
 // NewTCPTransport starts listening on listenAddr and returns a transport
@@ -222,41 +240,108 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			t.unregisterClient(cs)
 		}
 	}()
-	for {
-		frame, err := wire.ReadFrame(conn)
-		if err != nil {
-			switch {
-			case errors.Is(err, wire.ErrFrameSize):
-				// Corrupt length prefix: the stream cannot be resynced, so
-				// the connection must go, but count it as corruption.
-				t.ctr.corruptFrames.Add(1)
-			case err == io.EOF || errors.Is(err, net.ErrClosed):
-				// Clean shutdown by either side: not an error.
-			default:
-				t.ctr.connErrors.Add(1)
+	// Batched receive: the FrameReader refills a pooled 256KiB window with
+	// single reads and slices frames out zero-copy (Decode copies everything
+	// it retains, so frames recycle implicitly on the next Next). Each outer
+	// iteration decodes every frame available in the window — one blocking
+	// Next, then buffered ones while Pending — and delivers them as one
+	// batch, mirroring the sender's write coalescing.
+	fr := wire.NewFrameReader(conn)
+	defer fr.Release()
+	var (
+		batch     []core.Message
+		lastReads uint64
+		done      bool
+	)
+	for !done {
+		batch = batch[:0]
+		frames := 0
+		for {
+			frame, err := fr.Next()
+			if err != nil {
+				switch {
+				case errors.Is(err, wire.ErrFrameSize):
+					// Corrupt length prefix: the stream cannot be resynced, so
+					// the connection must go, but count it as corruption.
+					t.ctr.corruptFrames.Add(1)
+				case err == io.EOF || errors.Is(err, net.ErrClosed):
+					// Clean shutdown by either side: not an error.
+				default:
+					t.ctr.connErrors.Add(1)
+				}
+				done = true // deliver what the batch already holds, then exit
+				break
 			}
+			frames++
+			msg, derr := wire.Decode(frame)
+			if derr != nil {
+				if errors.Is(derr, wire.ErrUnknownKind) || errors.Is(derr, wire.ErrVersion) {
+					// Well-framed message from a different protocol vintage —
+					// what a newer peer's frames look like during a rolling
+					// upgrade. Skip it; this is not corruption.
+					t.ctr.unknownFrames.Add(1)
+				} else {
+					t.ctr.corruptFrames.Add(1) // framing intact: drop the message, keep the conn
+				}
+			} else if h, ok := msg.(*core.HelloMsg); ok {
+				// Client-role handshake: bind this connection as the reply
+				// route for the client's ID. One hello per connection; extras
+				// and IDs outside the reserved client range are ignored (a
+				// peer ID here would let a client hijack peer traffic).
+				if cs == nil && core.IsClient(h.ID) {
+					cs = t.registerClient(h.ID, conn)
+				}
+			} else {
+				batch = append(batch, msg)
+			}
+			if len(batch) >= maxReadBatch || !fr.Pending() {
+				break
+			}
+		}
+		if frames > 0 {
+			t.ctr.framesRead.Add(uint64(frames))
+			t.ctr.readBatches.Add(1)
+			if h := t.readHist.Load(); h != nil {
+				reads, _ := fr.Stats()
+				if d := reads - lastReads; d > 0 {
+					h.Observe(float64(frames) / float64(d))
+				} else {
+					h.Observe(float64(frames))
+				}
+				lastReads = reads
+			}
+		}
+		if len(batch) > 0 {
+			t.deliverReadBatch(cs, batch)
+			for i := range batch {
+				batch[i] = nil
+			}
+		}
+	}
+}
+
+// deliverReadBatch hands one read batch to the consumer. When the connection
+// has a hello-registered client sender, delivery holds its deliverMu with a
+// quit check inside; retire() takes the same mutex after closing quit, so
+// once a superseding re-hello's retire() returns, no frame from the retired
+// connection can reach the node — not even one already decoded into an
+// in-flight batch.
+func (t *TCPTransport) deliverReadBatch(cs *peerSender, batch []core.Message) {
+	if cs != nil {
+		cs.deliverMu.Lock()
+		defer cs.deliverMu.Unlock()
+		select {
+		case <-cs.quit:
 			return
+		default:
 		}
-		msg, err := wire.Decode(frame)
-		if err != nil {
-			t.ctr.corruptFrames.Add(1)
-			continue // framing is intact: drop the message, keep the conn
+	}
+	if t.handler != nil {
+		for _, m := range batch {
+			t.handler(m)
 		}
-		if h, ok := msg.(*core.HelloMsg); ok {
-			// Client-role handshake: bind this connection as the reply route
-			// for the client's ID. One hello per connection; extras and IDs
-			// outside the reserved client range are ignored (a peer ID here
-			// would let a client hijack peer traffic).
-			if cs == nil && core.IsClient(h.ID) {
-				cs = t.registerClient(h.ID, conn)
-			}
-			continue
-		}
-		if t.handler != nil {
-			t.handler(msg)
-		} else if t.node != nil {
-			t.node.Deliver(msg)
-		}
+	} else if t.node != nil {
+		t.node.DeliverBatch(batch)
 	}
 }
 
@@ -432,7 +517,10 @@ func (t *TCPTransport) Stats() TransportStats {
 		DialErrors:    t.ctr.dialErrors.Load(),
 		Redials:       t.ctr.redials.Load(),
 		CorruptFrames: t.ctr.corruptFrames.Load(),
+		UnknownFrames: t.ctr.unknownFrames.Load(),
 		ConnErrors:    t.ctr.connErrors.Load(),
+		FramesRead:    t.ctr.framesRead.Load(),
+		ReadBatches:   t.ctr.readBatches.Load(),
 	}
 	t.mu.Lock()
 	for _, p := range t.peers {
@@ -492,6 +580,13 @@ type peerSender struct {
 	quit    chan struct{} // closed when the sender is retired (address change)
 
 	retireOnce sync.Once
+
+	// deliverMu serializes inbound batch delivery on this sender's connection
+	// against its retirement: the read loop holds it across each batch (with
+	// a quit check inside), and retire() acquires it once after closing quit,
+	// so retire() returning guarantees no further frames from this connection
+	// reach the node (see deliverReadBatch).
+	deliverMu sync.Mutex
 
 	// cmu guards nc, which Close pokes from outside the writer goroutine.
 	cmu sync.Mutex
@@ -862,6 +957,15 @@ func (p *peerSender) retire() {
 	p.retireOnce.Do(func() {
 		close(p.quit)
 		p.closeConn()
+		// Wait out a batch currently delivering on this sender's connection:
+		// the read loop checks quit under deliverMu before each batch, so
+		// once this acquire succeeds no in-flight delivery continues and no
+		// new one starts. Safe against self-deadlock: the read loop never
+		// holds deliverMu while retiring (its deferred retire runs after the
+		// delivery loop exits), and registerClient retires a superseded
+		// sender only after releasing the transport mutex.
+		p.deliverMu.Lock()
+		p.deliverMu.Unlock() //nolint:staticcheck // the handoff is the critical section
 	})
 }
 

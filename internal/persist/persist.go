@@ -60,6 +60,16 @@ const (
 	recIncarnation byte = 2
 
 	recHeaderLen = 8 // u32 length + u32 crc
+
+	// flushThreshold bounds the group-commit buffer: appendLocked writes the
+	// pending records through once they exceed this, so a shard batch that
+	// journals heavily cannot grow the buffer without bound between flushes.
+	flushThreshold = 64 << 10
+
+	// maxPendingCap releases an unusually large pending buffer (a MaxRecord
+	// append can briefly grow it past a megabyte) back to the allocator after
+	// the flush instead of pinning it for the store's lifetime.
+	maxPendingCap = 2 << 20
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -168,6 +178,13 @@ func (rs *ReplayState) HasState() bool {
 // multiple shard event loops concurrently (records are serialized under an
 // internal mutex); Mark/WriteSnapshot/Close coordinate with appends the same
 // way.
+//
+// Appends group-commit: records are framed into a pending buffer and written
+// through with one write(2) per Flush (the shard loops flush once per drained
+// batch), per flushThreshold overflow, or per append under SyncAlways — so
+// the WAL write amplification scales with batches, not mutations, while
+// SyncAlways still means fsync-per-record and SyncInterval still loses at
+// most one interval to a machine crash.
 type Store struct {
 	dir  string
 	opts Options
@@ -175,11 +192,15 @@ type Store struct {
 	mu       sync.Mutex
 	f        *os.File
 	segStart uint64 // first seq the open segment may contain
-	segSize  int64
+	segSize  int64  // includes pending (not yet written) record bytes
 	seq      uint64
 	lastSync time.Time
 	closed   bool
-	buf      []byte
+	// pending is the group-commit buffer: appends frame records into it and
+	// Flush writes them through with one write(2) per batch. It is drained by
+	// Flush, by appendLocked once it exceeds flushThreshold, and by every
+	// operation that needs the file current (Mark, rolls, Close).
+	pending []byte
 
 	// idx is the current node-index generation (Options.NodeIndex; nil when
 	// disabled or not yet built). Swapped by WriteSnapshot, read-referenced by
@@ -236,7 +257,8 @@ func Open(dir string, opts Options) (*Store, *ReplayState, error) {
 	return s, rs, nil
 }
 
-// Append journals one hosted-state mutation. Safe for concurrent use.
+// Append journals one hosted-state mutation into the group-commit buffer
+// (written through at the next Flush). Safe for concurrent use.
 func (s *Store) Append(mu *core.HostedMutation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,42 +272,86 @@ func (s *Store) Append(mu *core.HostedMutation) error {
 func (s *Store) AppendIncarnation(inc uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(recIncarnation, func(b []byte) []byte {
+	if err := s.appendLocked(recIncarnation, func(b []byte) []byte {
 		return binary.LittleEndian.AppendUint64(b, inc)
-	})
+	}); err != nil {
+		return err
+	}
+	// Journaled from the membership goroutine, not a shard loop: no batch
+	// drain group-commits on its behalf, so write it through immediately.
+	return s.flushSyncLocked()
 }
 
 func (s *Store) appendLocked(kind byte, enc func([]byte) []byte) error {
 	if s.closed {
 		return fmt.Errorf("persist: store closed")
 	}
-	b := s.buf[:0]
-	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	base := len(s.pending)
+	b := append(s.pending, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
 	b = binary.LittleEndian.AppendUint64(b, s.seq+1)
 	b = append(b, kind)
 	b = enc(b)
-	s.buf = b
-	payload := b[recHeaderLen:]
+	payload := b[base+recHeaderLen:]
 	if len(payload) > MaxRecord {
+		s.pending = b[:base]
 		return fmt.Errorf("persist: record of %d bytes exceeds MaxRecord", len(payload))
 	}
-	binary.LittleEndian.PutUint32(b[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(payload, castagnoli))
-	if _, err := s.f.Write(b); err != nil {
-		return fmt.Errorf("persist: wal append: %w", err)
-	}
+	binary.LittleEndian.PutUint32(b[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[base+4:], crc32.Checksum(payload, castagnoli))
+	s.pending = b
+	rec := len(b) - base
 	s.seq++
-	s.segSize += int64(len(b))
+	s.segSize += int64(rec)
 	if s.walAppends != nil {
 		s.walAppends.Inc()
-		s.walBytes.Add(uint64(len(b)))
+		s.walBytes.Add(uint64(rec))
 	}
-	switch s.opts.SyncPolicy {
-	case SyncAlways:
+	if s.opts.SyncPolicy == SyncAlways {
+		// No acknowledged mutation may ever be lost: write through and fsync
+		// per append, exactly as before group commit.
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("persist: wal sync: %w", err)
 		}
-	case SyncInterval:
+	} else if len(s.pending) >= flushThreshold {
+		if err := s.flushSyncLocked(); err != nil {
+			return err
+		}
+	}
+	if s.segSize >= s.opts.SegmentBytes {
+		return s.rollLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the pending group-commit buffer through to the segment
+// file with one write(2). No fsync.
+func (s *Store) flushLocked() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	if _, err := s.f.Write(s.pending); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	if cap(s.pending) > maxPendingCap {
+		s.pending = nil
+	} else {
+		s.pending = s.pending[:0]
+	}
+	return nil
+}
+
+// flushSyncLocked is flushLocked plus the interval sync policy: under
+// SyncInterval an fsync happens here at most once per Options.SyncInterval,
+// so "-wal-sync interval" keeps its bound of losing at most one interval's
+// records to a machine crash.
+func (s *Store) flushSyncLocked() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if s.opts.SyncPolicy == SyncInterval {
 		if now := time.Now(); now.Sub(s.lastSync) >= s.opts.SyncInterval {
 			if err := s.f.Sync(); err != nil {
 				return fmt.Errorf("persist: wal sync: %w", err)
@@ -293,10 +359,20 @@ func (s *Store) appendLocked(kind byte, enc func([]byte) []byte) error {
 			s.lastSync = now
 		}
 	}
-	if s.segSize >= s.opts.SegmentBytes {
-		return s.rollLocked()
-	}
 	return nil
+}
+
+// Flush group-commits buffered records: one write(2) for everything appended
+// since the last flush, then the interval sync policy. Shard event loops call
+// it once per drained batch and before blocking idle, so a record never waits
+// in user space longer than the batch that journaled it.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.pending) == 0 {
+		return nil
+	}
+	return s.flushSyncLocked()
 }
 
 // Mark rolls the WAL to a fresh segment and returns the last sequence the
@@ -318,6 +394,9 @@ func (s *Store) Mark() (uint64, error) {
 }
 
 func (s *Store) rollLocked() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("persist: wal sync: %w", err)
 	}
@@ -455,7 +534,10 @@ func (s *Store) Close() error {
 	if s.f == nil {
 		return nil
 	}
-	err := s.f.Sync()
+	err := s.flushLocked()
+	if serr := s.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}

@@ -80,6 +80,50 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFlushGroupCommit pins the group-commit contract: appends buffer in
+// user space until Flush writes them through in one batch, and a flushed
+// batch replays record-for-record.
+func TestFlushGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if err := st.Append(testMutation(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := listSeqFiles(dir, walPrefix, walSuffix)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 live segment, have %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(walMagic) {
+		t.Fatalf("segment holds %d bytes before Flush, want header only (%d)", len(data), len(walMagic))
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(segs[0].path); err != nil {
+		t.Fatal(err)
+	}
+	var recs int
+	if _, err := scanSegment(data, func(uint64, byte, []byte) error { recs++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if recs != n {
+		t.Fatalf("flushed segment replays %d records, want %d", recs, n)
+	}
+	if err := st.Flush(); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnapshotTruncatesWAL(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := mustOpen(t, dir)

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// framesVia drains a stream with the given next function, returning a copy of
+// every frame plus the terminating error.
+func framesVia(next func() ([]byte, error)) ([][]byte, error) {
+	var out [][]byte
+	for {
+		frame, err := next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, append([]byte(nil), frame...))
+	}
+}
+
+// assertSameFrames is the differential oracle: FrameReader over any input
+// must yield byte-identical frames and the identical terminating error as
+// ReadFrame does.
+func assertSameFrames(t *testing.T, data []byte, window int) {
+	t.Helper()
+	r1 := bytes.NewReader(data)
+	want, wantErr := framesVia(func() ([]byte, error) { return ReadFrame(r1) })
+	fr := newFrameReaderSize(bytes.NewReader(data), window)
+	got, gotErr := framesVia(fr.Next)
+	if len(got) != len(want) {
+		t.Fatalf("window %d: FrameReader yielded %d frames, ReadFrame %d", window, len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("window %d: frame %d differs: %x vs %x", window, i, got[i], want[i])
+		}
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Fatalf("window %d: terminating error %q, ReadFrame %q", window, gotErr, wantErr)
+	}
+	for _, sentinel := range []error{ErrFrameSize, io.ErrUnexpectedEOF} {
+		if errors.Is(gotErr, sentinel) != errors.Is(wantErr, sentinel) {
+			t.Fatalf("window %d: error class mismatch for %v: %v vs %v", window, sentinel, gotErr, wantErr)
+		}
+	}
+	if (gotErr == io.EOF) != (wantErr == io.EOF) {
+		t.Fatalf("window %d: io.EOF mismatch: %v vs %v", window, gotErr, wantErr)
+	}
+}
+
+func frameStream(t testing.TB, payloads ...[]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFrameReaderAdversarial mirrors TestReadFrameAdversarial: every hostile
+// or truncated input classifies identically through the buffered reader, at
+// window sizes that force the refill, compaction and spill paths.
+func TestFrameReaderAdversarial(t *testing.T) {
+	big := make([]byte, 3000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	cases := [][]byte{
+		nil,
+		{0x00},
+		{0x00, 0x00, 0x01},
+		{0, 0, 0, 0},
+		lenPrefix(MaxFrame + 1),
+		{0xff, 0xff, 0xff, 0xff},
+		append(lenPrefix(10), 1, 2),
+		append(lenPrefix(4), 1, 2, 3),
+		frameStream(t, []byte("hello"), []byte("world")),
+		append(frameStream(t, []byte("hello")), 0xff, 0xff, 0xff, 0xff, 0x00),
+		frameStream(t, big, []byte("tail"), big),
+		append(frameStream(t, big), lenPrefix(uint32(len(big)))...), // torn spill body
+		append(frameStream(t, big, big), 0, 0, 0, 0),
+	}
+	for i, data := range cases {
+		for _, window := range []int{5, 7, 64, 4096} {
+			t.Run(fmt.Sprintf("case-%d-window-%d", i, window), func(t *testing.T) {
+				assertSameFrames(t, data, window)
+			})
+		}
+	}
+}
+
+// TestFrameReaderPooledSpill pushes frames larger than the pooled window
+// through NewFrameReader: the spill path must hand back intact frames and the
+// stream must keep going afterwards.
+func TestFrameReaderPooledSpill(t *testing.T) {
+	big := make([]byte, FrameBufSize+1234)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	data := frameStream(t, []byte("pre"), big, []byte("post"))
+	fr := NewFrameReader(bytes.NewReader(data))
+	defer fr.Release()
+	for i, want := range [][]byte{[]byte("pre"), big, []byte("post")} {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("stream end: %v, want io.EOF", err)
+	}
+	reads, frames := fr.Stats()
+	if frames != 3 {
+		t.Fatalf("frames = %d, want 3", frames)
+	}
+	if reads == 0 {
+		t.Fatal("no reads recorded")
+	}
+}
+
+// TestFrameReaderPending: after one blocking Next, every frame the refill
+// pulled in is reported Pending and drains without further reads.
+func TestFrameReaderPending(t *testing.T) {
+	data := frameStream(t, []byte("a"), []byte("bb"), []byte("ccc"))
+	fr := NewFrameReader(bytes.NewReader(data))
+	defer fr.Release()
+	if fr.Pending() {
+		t.Fatal("fresh reader reports pending frames")
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	readsAfterFirst, _ := fr.Stats()
+	for i := 0; i < 2; i++ {
+		if !fr.Pending() {
+			t.Fatalf("frame %d buffered but not pending", i+2)
+		}
+		if _, err := fr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fr.Pending() {
+		t.Fatal("drained reader reports pending frames")
+	}
+	reads, frames := fr.Stats()
+	if reads != readsAfterFirst {
+		t.Fatalf("draining buffered frames issued reads: %d -> %d", readsAfterFirst, reads)
+	}
+	if frames != 3 {
+		t.Fatalf("frames = %d, want 3", frames)
+	}
+	// A hostile buffered length prefix is pending too: Next must surface
+	// ErrFrameSize without touching the reader.
+	fr2 := newFrameReaderSize(bytes.NewReader(append(frameStream(t, []byte("x")), 0, 0, 0, 0)), 64)
+	if _, err := fr2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !fr2.Pending() {
+		t.Fatal("buffered zero-length prefix not pending")
+	}
+	if _, err := fr2.Next(); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("buffered hostile length: %v, want ErrFrameSize", err)
+	}
+}
+
+// TestFrameReaderRelease: a released reader refuses further reads and double
+// release is harmless.
+func TestFrameReaderRelease(t *testing.T) {
+	fr := NewFrameReader(bytes.NewReader(frameStream(t, []byte("x"))))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+	fr.Release()
+	if _, err := fr.Next(); err == nil {
+		t.Fatal("released reader served a frame")
+	}
+}
+
+// errAfterReader yields its payload then a non-EOF error, checking that
+// underlying I/O errors pass through verbatim like ReadFrame's io.ReadFull.
+type errAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestFrameReaderPassesThroughIOErrors(t *testing.T) {
+	sentinel := errors.New("conn reset by test")
+	for _, prefix := range [][]byte{nil, {0, 0}, lenPrefix(8), append(lenPrefix(8), 1, 2, 3)} {
+		fr := newFrameReaderSize(&errAfterReader{data: prefix, err: sentinel}, 64)
+		if _, err := fr.Next(); err != sentinel {
+			t.Fatalf("prefix %x: error %v, want sentinel passthrough", prefix, err)
+		}
+	}
+}

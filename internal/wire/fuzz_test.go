@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"terradir/internal/core"
@@ -77,6 +79,54 @@ func FuzzReadFrame(f *testing.F) {
 			}
 			if len(payload) > MaxFrame {
 				t.Fatalf("frame of %d bytes exceeds MaxFrame", len(payload))
+			}
+		}
+	})
+}
+
+// FuzzFrameReader is the differential target proving the batched FrameReader
+// is a reader-side optimization only: on arbitrary input — torn headers,
+// hostile lengths, multi-frame streams — it must yield byte-identical frame
+// sequences and the identical terminating error classification as ReadFrame,
+// at window sizes that force the refill, compaction and spill paths.
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	WriteFrame(&buf, []byte("world"))
+	f.Add(buf.Bytes(), uint16(64))
+	// The adversarial corpus from TestReadFrameAdversarial.
+	f.Add([]byte{}, uint16(5))
+	f.Add([]byte{0x00}, uint16(5))
+	f.Add([]byte{0x00, 0x00, 0x01}, uint16(9))
+	f.Add([]byte{0, 0, 0, 0}, uint16(16))
+	f.Add(lenPrefix(MaxFrame+1), uint16(5))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint16(7))
+	f.Add(append(lenPrefix(10), 1, 2), uint16(6))
+	f.Add(append(lenPrefix(4), 1, 2, 3), uint16(32))
+	f.Fuzz(func(t *testing.T, data []byte, window uint16) {
+		r1 := bytes.NewReader(data)
+		r2 := newFrameReaderSize(bytes.NewReader(data), int(window))
+		for {
+			want, wantErr := ReadFrame(r1)
+			got, gotErr := r2.Next()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("error divergence: ReadFrame %v, FrameReader %v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("error text divergence: %q vs %q", gotErr, wantErr)
+				}
+				if errors.Is(gotErr, ErrFrameSize) != errors.Is(wantErr, ErrFrameSize) ||
+					errors.Is(gotErr, io.ErrUnexpectedEOF) != errors.Is(wantErr, io.ErrUnexpectedEOF) ||
+					(gotErr == io.EOF) != (wantErr == io.EOF) {
+					t.Fatalf("error class divergence: %v vs %v", gotErr, wantErr)
+				}
+				return
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame divergence: %d vs %d bytes", len(got), len(want))
 			}
 		}
 	})

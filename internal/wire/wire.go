@@ -76,6 +76,12 @@ var ErrFrameSize = errors.New("wire: frame size out of range")
 // from corruption.
 var ErrVersion = errors.New("wire: incompatible protocol version")
 
+// ErrUnknownKind reports a well-framed current-format message (Magic marker
+// intact) whose kind byte this build does not recognize — what a frame from a
+// newer peer looks like during a rolling upgrade. Receivers should count and
+// skip it, not treat it as corruption or tear down the connection.
+var ErrUnknownKind = errors.New("wire: unknown message kind")
+
 // ---------------------------------------------------------------------------
 // Encoding
 
@@ -637,7 +643,7 @@ func Decode(data []byte) (core.Message, error) {
 	case kindHello:
 		m = &core.HelloMsg{ID: core.ServerID(r.i32()), Role: r.u8()}
 	default:
-		return nil, fmt.Errorf("wire: unknown kind %d", kind)
+		return nil, fmt.Errorf("%w %d", ErrUnknownKind, kind)
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("wire: decode kind %d: %w", kind, r.err)
